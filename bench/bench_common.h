@@ -1,0 +1,41 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints (a) the figure/table it reproduces, (b) a fixed-width
+// table with one row per x-axis point and one column per series — the
+// textual analogue of the paper's plot — and (c) writes the same data as
+// CSV next to the binary for offline plotting.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/csv.h"
+#include "harness/sweep.h"
+#include "harness/table.h"
+
+namespace robustify::bench {
+
+inline void Banner(const std::string& title, const std::string& paper_ref,
+                   const std::string& expectation) {
+  std::cout << "==================================================================\n"
+            << title << "\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "Expected shape: " << expectation << "\n"
+            << "==================================================================\n";
+}
+
+inline void EmitSweep(const std::string& title, const std::vector<harness::Series>& series,
+                      harness::TableValue value, const std::string& value_label,
+                      const std::string& csv_name) {
+  harness::PrintSweepTable(std::cout, title, series, value, value_label);
+  try {
+    harness::WriteSweepCsv(csv_name, series);
+    std::cout << "[csv written: " << csv_name << "]\n";
+  } catch (const std::exception& e) {
+    std::cout << "[csv skipped: " << e.what() << "]\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace robustify::bench

@@ -1,0 +1,62 @@
+// E14 / Section 4.7: eigenpairs via Rayleigh-quotient ascent with deflation.
+//
+// The paper sketches this formulation without measurements; this bench
+// sweeps the fault rate and reports the relative eigenvalue error of the
+// top-3 pairs against the reliable Jacobi oracle.
+#include <cmath>
+#include <random>
+
+#include "apps/eigen_app.h"
+#include "bench/bench_common.h"
+#include "core/phases.h"
+#include "linalg/random.h"
+
+namespace {
+
+using namespace robustify;
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Eigenpairs via Rayleigh quotient ascent (Section 4.7)",
+      "Section 4.7 ('Other numerical problems'); no paper figure",
+      "eigenvalue error grows smoothly with fault rate instead of "
+      "collapsing; the ascent remains finite at every rate");
+
+  std::mt19937_64 rng(72);
+  const linalg::Matrix<double> a = linalg::RandomSymmetricMatrix(8, rng);
+  const auto oracle = apps::JacobiEigenSym(a);
+
+  harness::SweepConfig sweep;
+  sweep.fault_rates = {0.0, 0.001, 0.01, 0.05, 0.1};
+  sweep.trials = 6;
+  sweep.base_seed = 72;
+
+  const auto variant = [&](std::size_t k) {
+    return [&a, &oracle, k](const core::FaultEnvironment& env) {
+      harness::TrialOutcome out;
+      apps::RayleighOptions options;
+      options.iterations = 400;
+      const auto pairs = core::WithFaultyFpu(
+          env, [&] { return apps::TopEigenpairsRayleigh<faulty::Real>(a, k + 1, options); },
+          &out.fpu_stats);
+      const double got = pairs.back().value;
+      const double want = oracle[k].value;
+      out.metric = std::abs(got - want) / std::max(1e-9, std::abs(want));
+      out.success = out.metric < 0.05;
+      return out;
+    };
+  };
+
+  const auto series = harness::RunFaultRateSweep(
+      sweep, {
+                 {"lambda_1", variant(0)},
+                 {"lambda_2", variant(1)},
+                 {"lambda_3", variant(2)},
+             });
+  bench::EmitSweep("Rayleigh eigenpairs: median relative eigenvalue error", series,
+                   harness::TableValue::kMedianMetric, "median |l - l*| / |l*|",
+                   "eigen_rayleigh.csv");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// E2 / Figure 5.2: FPU error rate as supply voltage is overscaled.
+//
+// Prints the calibrated voltage -> errors/OP curve used by the energy
+// experiments, plus the inverse lookup (how far one may overscale for a
+// given tolerable fault rate).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "faulty/voltage_model.h"
+
+int main() {
+  robustify::bench::Banner(
+      "Figure 5.2 - FPU error rate vs supply voltage",
+      "Chapter 5, Figure 5.2 (circuit-level voltage/error-rate curve)",
+      "near-zero error rate at nominal voltage, steep orders-of-magnitude "
+      "rise below the guardband knee (~0.9 V)");
+
+  const robustify::faulty::VoltageModel model;
+  std::printf("%-12s %-14s\n", "voltage(V)", "errors/OP");
+  std::printf("---------------------------\n");
+  for (double v = 0.60; v <= 1.001; v += 0.025) {
+    std::printf("%-12.3f %-14.3e\n", v, model.error_rate(v));
+  }
+
+  std::printf("\nInverse lookup (overscaling headroom):\n");
+  std::printf("%-18s %-12s\n", "tolerated rate", "voltage(V)");
+  std::printf("-------------------------------\n");
+  for (const double rate : {1e-9, 1e-7, 1e-5, 1e-3, 1e-2, 1e-1}) {
+    std::printf("%-18.1e %-12.4f\n", rate, model.voltage_for_error_rate(rate));
+  }
+  return 0;
+}

@@ -1,0 +1,152 @@
+// E9 / Figure 6.7: FPU energy vs accuracy target for least squares, Cholesky
+// baseline vs CG under voltage overscaling.
+//
+// The paper's insight: because CG tolerates FPU errors, one can "scale down
+// the voltage and the number of iterations concurrently" — for every
+// achievable accuracy target the CG configuration frontier costs less energy
+// than running the direct Cholesky solve at the voltage it needs to stay
+// correct.  Energy is the paper's axis: relative power (V^2, normalized to
+// the 1.0 V nominal) times the number of FLOPs executed.
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "apps/configs.h"
+#include "apps/least_squares.h"
+#include "bench/bench_common.h"
+#include "core/phases.h"
+#include "faulty/energy.h"
+#include "signal/metrics.h"
+
+namespace {
+
+using namespace robustify;
+
+struct Operating {
+  double voltage = 1.0;
+  int iterations = 0;       // CG only
+  double energy = std::numeric_limits<double>::infinity();
+  bool feasible = false;
+};
+
+constexpr int kTrials = 15;
+
+// Near-worst relative error over the trials (second-largest of kTrials),
+// plus mean faulty FLOPs.  The figure's operating criterion is reliability:
+// a solver "meets" an accuracy target at a voltage only if essentially
+// every run does — a direct solver that usually succeeds but occasionally
+// emits garbage has not met it, which is precisely why it cannot be
+// overscaled far.  Taking the second-largest error discards a single freak
+// trial so the frontier is not dictated by one unlucky arrival-sequence
+// seed.
+template <class Solver>
+std::pair<double, double> Measure(const Solver& solve, double fault_rate,
+                                  std::uint64_t seed) {
+  std::vector<double> errors;
+  errors.reserve(kTrials);
+  double flops = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    core::FaultEnvironment env;
+    env.fault_rate = fault_rate;
+    env.seed = seed + static_cast<std::uint64_t>(t) * 97;
+    faulty::ContextStats stats;
+    const double err = core::WithFaultyFpu(env, solve, &stats);
+    errors.push_back(std::isfinite(err) ? err
+                                        : std::numeric_limits<double>::infinity());
+    flops += static_cast<double>(stats.faulty_flops) / kTrials;
+  }
+  std::sort(errors.begin(), errors.end());
+  return {errors[errors.size() - 2], flops};
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Figure 6.7 - Least Squares Energy (Power * #FLOPs) vs accuracy target",
+      "Section 6.3, Figure 6.7",
+      "CG's energy frontier sits below the Cholesky baseline across the "
+      "achievable accuracy range; the tightest targets (< ~1e-7) are not "
+      "reachable by CG, as in the paper");
+
+  const apps::LsqProblem problem = apps::MakeRandomLsqProblem(100, 10, 9);
+  const faulty::EnergyModel energy_model;
+  const faulty::VoltageModel& vm = energy_model.voltage_model();
+
+  std::vector<double> voltages;
+  for (double v = 0.60; v <= 1.0001; v += 0.025) voltages.push_back(v);
+
+  const std::vector<double> targets = {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
+
+  std::printf("%-16s %-34s %-40s\n", "accuracy", "Base: Cholesky", "CG");
+  std::printf("%-16s %-10s %-10s %-12s %-10s %-6s %-10s %-12s\n", "target", "V", "flops",
+              "energy", "V", "N", "flops", "energy");
+  std::printf("-----------------------------------------------------------------------"
+              "-------------\n");
+
+  for (const double target : targets) {
+    // Feasibility in voltage is monotone (more overscaling, more faults), so
+    // scan from nominal downward and stop at the first failure — this avoids
+    // crediting a solver with a "lucky" low-voltage cell.
+    // Cholesky: its FLOP count is fixed; only voltage varies.
+    Operating chol;
+    for (auto vit = voltages.rbegin(); vit != voltages.rend(); ++vit) {
+      const double v = *vit;
+      const auto [err, flops] = Measure(
+          [&] {
+            return signal::RelativeError(
+                apps::SolveLsqBaseline<faulty::Real>(problem,
+                                                     linalg::LsqBaseline::kCholesky),
+                problem.exact);
+          },
+          vm.error_rate(v), 1000 + static_cast<std::uint64_t>(v * 1000));
+      if (err > target) break;
+      {
+        const double e = energy_model.energy(static_cast<std::uint64_t>(flops), v);
+        if (e < chol.energy) {
+          chol = {v, 0, e, true};
+        }
+      }
+    }
+
+    // CG: joint frontier over (iterations, voltage).
+    Operating cg;
+    for (int iters = 2; iters <= 16; iters += 2) {
+      for (auto vit = voltages.rbegin(); vit != voltages.rend(); ++vit) {
+        const double v = *vit;
+        const auto [err, flops] = Measure(
+            [&] {
+              return signal::RelativeError(
+                  apps::SolveLsqCg<faulty::Real>(problem, apps::LsqCg(iters)).x,
+                  problem.exact);
+            },
+            vm.error_rate(v),
+            2000 + static_cast<std::uint64_t>(v * 1000) +
+                static_cast<std::uint64_t>(iters));
+        if (err > target) break;
+        {
+          const double e = energy_model.energy(static_cast<std::uint64_t>(flops), v);
+          if (e < cg.energy) {
+            cg = {v, iters, e, true};
+          }
+        }
+      }
+    }
+
+    std::printf("%-16.0e ", target);
+    if (chol.feasible) {
+      std::printf("%-10.3f %-10.0f %-12.4e ", chol.voltage,
+                  chol.energy / energy_model.relative_power(chol.voltage), chol.energy);
+    } else {
+      std::printf("%-10s %-10s %-12s ", "-", "-", "unreachable");
+    }
+    if (cg.feasible) {
+      std::printf("%-10.3f %-6d %-10.0f %-12.4e\n", cg.voltage, cg.iterations,
+                  cg.energy / energy_model.relative_power(cg.voltage), cg.energy);
+    } else {
+      std::printf("%-10s %-6s %-10s %-12s\n", "-", "-", "-", "unreachable");
+    }
+  }
+  return 0;
+}

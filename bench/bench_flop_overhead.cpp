@@ -1,0 +1,104 @@
+// E12 / Chapter 7 (text): FLOP overhead of robustification.
+//
+// "We observed that the number of floating point operations required by our
+// applications could be up to 10 to 1000 times higher than that for the
+// baseline implementations."  This bench counts FPU operations for the
+// baseline and robust implementation of every application.
+#include <cstdio>
+#include <random>
+
+#include "apps/apsp_app.h"
+#include "apps/configs.h"
+#include "apps/iir_app.h"
+#include "apps/least_squares.h"
+#include "apps/matching_app.h"
+#include "apps/sort_app.h"
+#include "bench/bench_common.h"
+#include "core/phases.h"
+#include "graph/generators.h"
+#include "graph/maxflow.h"
+#include "graph/shortest_paths.h"
+#include "apps/maxflow_app.h"
+#include "signal/signals.h"
+
+namespace {
+
+using namespace robustify;
+
+template <class Fn>
+double Flops(const Fn& fn) {
+  core::FaultEnvironment env;  // rate 0: count, never corrupt
+  faulty::ContextStats stats;
+  core::WithFaultyFpu(env, fn, &stats);
+  return static_cast<double>(stats.faulty_flops);
+}
+
+void Row(const char* app, double base, double robust) {
+  std::printf("%-18s %-14.0f %-14.0f %-10.1fx\n", app, base, robust, robust / base);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "FLOP overhead of robustification (Chapter 7)",
+      "Chapter 7 (text): robust implementations need 10-1000x more FLOPs",
+      "every robust/baseline ratio falls in roughly the 10x-1000x band");
+
+  std::printf("%-18s %-14s %-14s %-10s\n", "application", "baseline", "robust",
+              "overhead");
+  std::printf("------------------------------------------------------------\n");
+
+  {
+    const std::vector<double> input{0.9, 0.1, 0.6, 0.3, 0.7};
+    const double base = Flops([&] { return apps::BaselineSort<faulty::Real>(input); });
+    const double robust = Flops(
+        [&] { return apps::RobustSort<faulty::Real>(input, apps::SortSgdAsSqs()); });
+    Row("sort (n=5)", base, robust);
+  }
+  {
+    const apps::LsqProblem p = apps::MakeRandomLsqProblem(100, 10, 11);
+    const double base = Flops([&] {
+      return apps::SolveLsqBaseline<faulty::Real>(p, linalg::LsqBaseline::kCholesky);
+    });
+    const double sgd =
+        Flops([&] { return apps::SolveLsqSgd<faulty::Real>(p, apps::LsqSgdLs()); });
+    const double cg =
+        Flops([&] { return apps::SolveLsqCg<faulty::Real>(p, apps::LsqCg(10)); });
+    Row("lsq SGD (100x10)", base, sgd);
+    Row("lsq CG,N=10", base, cg);
+  }
+  {
+    const signal::IirCoefficients coeffs = signal::MakeStableIir(5, 5, 63);
+    const linalg::Vector<double> u = signal::SineMix(500, {3.0}, {1.0});
+    const double base = Flops([&] { return apps::BaselineIir<faulty::Real>(coeffs, u); });
+    const double robust = Flops(
+        [&] { return apps::RobustIir<faulty::Real>(coeffs, u, apps::IirSgdLs()); });
+    Row("iir (500 samples)", base, robust);
+  }
+  {
+    const graph::BipartiteGraph g = graph::RandomBipartite(5, 6, 30, 3);
+    const double base = Flops([&] { return apps::BaselineMatching<faulty::Real>(g); });
+    const double robust = Flops([&] {
+      return apps::RobustMatching<faulty::Real>(g, apps::MatchingBasicLs());
+    });
+    Row("matching (5x6)", base, robust);
+  }
+  {
+    const graph::FlowNetwork net = graph::RandomFlowNetwork(6, 6, 12);
+    const double base =
+        Flops([&] { return graph::EdmondsKarpMaxFlow<faulty::Real>(net); });
+    const double robust = Flops(
+        [&] { return apps::RobustMaxFlow<faulty::Real>(net, apps::MaxFlowConfig()); });
+    Row("maxflow (6 nodes)", base, robust);
+  }
+  {
+    const graph::Digraph g = graph::RandomDigraph(5, 6, 15);
+    const double base =
+        Flops([&] { return graph::FloydWarshall<faulty::Real>(g); });
+    const double robust =
+        Flops([&] { return apps::RobustApsp<faulty::Real>(g, apps::ApspConfig()); });
+    Row("apsp (5 nodes)", base, robust);
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E10 / Section 6.2.2 (text): momentum ablation.
+//
+// The paper reports that a momentum of 0.5 improved sorting success by
+// 20-40% relative to basic gradient descent, but gave only a marginal
+// (<5%) benefit for bipartite matching.
+#include <random>
+
+#include "apps/configs.h"
+#include "apps/matching_app.h"
+#include "apps/sort_app.h"
+#include "bench/bench_common.h"
+#include "core/phases.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace robustify;
+
+std::vector<double> MakeInput(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<double> v(5);
+  for (double& x : v) x = dist(rng);
+  return v;
+}
+
+harness::TrialFn SortVariant(apps::LpSolveConfig config) {
+  return [config](const core::FaultEnvironment& env) {
+    harness::TrialOutcome out;
+    const std::vector<double> input = MakeInput(env.seed * 7919);
+    const apps::RobustSortResult r = core::WithFaultyFpu(
+        env, [&] { return apps::RobustSort<faulty::Real>(input, config); },
+        &out.fpu_stats);
+    out.success = r.valid && apps::IsSortedCopyOf(r.output, input);
+    return out;
+  };
+}
+
+harness::TrialFn MatchVariant(const graph::BipartiteGraph& g,
+                              apps::LpSolveConfig config) {
+  return [&g, config](const core::FaultEnvironment& env) {
+    harness::TrialOutcome out;
+    const apps::MatchingResult r = core::WithFaultyFpu(
+        env, [&] { return apps::RobustMatching<faulty::Real>(g, config); },
+        &out.fpu_stats);
+    out.success = r.valid && apps::MatchesOptimal(g, r.matching);
+    return out;
+  };
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Momentum ablation (Section 6.2.2)",
+      "Section 6.2.2 (text): momentum 0.5 improves sorting success 20-40%, "
+      "matching by <5%",
+      "sorting gains substantially from momentum at moderate/high fault "
+      "rates; matching barely moves");
+
+  harness::SweepConfig sweep;
+  sweep.fault_rates = {0.1, 0.3, 0.5};
+  sweep.trials = 10;
+  sweep.base_seed = 70;
+
+  apps::LpSolveConfig sort_plain = apps::SortSgdAsSqs();
+  apps::LpSolveConfig sort_momentum = sort_plain;
+  sort_momentum.sgd.momentum_beta = 0.5;
+
+  const auto sort_series = harness::RunFaultRateSweep(
+      sweep, {
+                 {"sort (no momentum)", SortVariant(sort_plain)},
+                 {"sort (momentum 0.5)", SortVariant(sort_momentum)},
+             });
+  bench::EmitSweep("Sorting: momentum ablation", sort_series,
+                   harness::TableValue::kSuccessRatePct, "success rate (%)",
+                   "momentum_sort.csv");
+
+  const graph::BipartiteGraph g = graph::RandomBipartite(5, 6, 30, 3);
+  apps::LpSolveConfig match_plain = apps::MatchingSgdAsSqs();
+  apps::LpSolveConfig match_momentum = match_plain;
+  match_momentum.sgd.momentum_beta = 0.5;
+
+  const auto match_series = harness::RunFaultRateSweep(
+      sweep, {
+                 {"matching (no momentum)", MatchVariant(g, match_plain)},
+                 {"matching (momentum 0.5)", MatchVariant(g, match_momentum)},
+             });
+  bench::EmitSweep("Matching: momentum ablation", match_series,
+                   harness::TableValue::kSuccessRatePct, "success rate (%)",
+                   "momentum_matching.csv");
+  return 0;
+}
