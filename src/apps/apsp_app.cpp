@@ -1,0 +1,25 @@
+#include "apps/apsp_app.h"
+
+#include <cmath>
+#include <limits>
+
+namespace robustify::apps {
+
+double MaxAbsDistanceError(const linalg::Matrix<double>& d,
+                           const linalg::Matrix<double>& exact) {
+  if (d.rows() != exact.rows() || d.cols() != exact.cols()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    for (std::size_t j = 0; j < d.cols(); ++j) {
+      if (exact(i, j) >= graph::kUnreachable) continue;  // unreachable pair
+      const double err = std::abs(d(i, j) - exact(i, j));
+      if (!std::isfinite(err)) return std::numeric_limits<double>::infinity();
+      if (err > worst) worst = err;
+    }
+  }
+  return worst;
+}
+
+}  // namespace robustify::apps

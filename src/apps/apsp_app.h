@@ -1,0 +1,77 @@
+// All-pairs shortest paths as per-source LPs (paper Section 4.6,
+// Eqs. 4.10-4.12):
+//   max sum_v d_v   s.t.  d_v - d_u <= w_uv for every edge (u,v), d_s = 0
+// whose optimum is exactly the shortest-path distances.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/configs.h"
+#include "graph/shortest_paths.h"
+#include "graph/types.h"
+#include "linalg/matrix.h"
+#include "linalg/scalar.h"
+#include "linalg/vector.h"
+#include "opt/lp.h"
+#include "opt/sgd.h"
+
+namespace robustify::apps {
+
+struct ApspResult {
+  bool valid = false;
+  linalg::Matrix<double> distances;
+};
+
+// max_{ij} |d(i,j) - exact(i,j)| over reachable pairs; +inf on non-finite.
+double MaxAbsDistanceError(const linalg::Matrix<double>& d,
+                           const linalg::Matrix<double>& exact);
+
+template <class T>
+ApspResult RobustApsp(const graph::Digraph& g, const ApspConfig& config) {
+  const std::size_t n = static_cast<std::size_t>(g.nodes);
+  ApspResult result;
+  result.valid = true;
+  result.distances = linalg::Matrix<double>(n, n);
+
+  for (int s = 0; s < g.nodes; ++s) {
+    // Variables: d_v for v != s (index v, with v>s shifted down by one).
+    const std::size_t vars = n - 1;
+    auto var_of = [&](int v) {
+      return static_cast<int>(v < s ? v : v - 1);
+    };
+    std::vector<double> cost(vars, -1.0);  // maximize sum d_v
+    std::vector<double> lower(vars, 0.0);
+    std::vector<double> upper(vars, 1e6);
+    std::vector<opt::LpConstraint> constraints;
+    for (const auto& e : g.edges) {
+      opt::LpConstraint con;  // d_to - d_from <= w
+      con.rhs = e.weight;
+      if (e.to != s) con.terms.push_back({var_of(e.to), 1.0});
+      if (e.from != s) con.terms.push_back({var_of(e.from), -1.0});
+      if (con.terms.empty()) continue;
+      constraints.push_back(std::move(con));
+    }
+    opt::PenalizedLp<T> lp(std::move(cost), std::move(constraints), std::move(lower),
+                           std::move(upper), config.lp.penalty_weight,
+                           config.lp.precondition);
+    opt::SgdOptions options = config.lp.sgd;
+    if (config.lp.anneal && options.phases.empty()) {
+      options.phases =
+          core::AnnealedPenalty(config.lp.anneal_phases, config.lp.anneal_factor);
+    }
+    linalg::Vector<T> d(vars);
+    d = opt::MinimizeSgd(lp, std::move(d), options);
+
+    if (!AllFinite(d)) result.valid = false;
+    result.distances(static_cast<std::size_t>(s), static_cast<std::size_t>(s)) = 0.0;
+    for (int v = 0; v < g.nodes; ++v) {
+      if (v == s) continue;
+      result.distances(static_cast<std::size_t>(s), static_cast<std::size_t>(v)) =
+          linalg::AsDouble(d[static_cast<std::size_t>(var_of(v))]);
+    }
+  }
+  return result;
+}
+
+}  // namespace robustify::apps

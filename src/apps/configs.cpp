@@ -1,0 +1,203 @@
+#include "apps/configs.h"
+
+namespace robustify::apps {
+
+namespace {
+
+opt::SgdOptions BaseSgd(int iterations, double base_step, opt::StepScaling scaling,
+                        bool adaptive) {
+  opt::SgdOptions o;
+  o.iterations = iterations;
+  o.base_step = base_step;
+  o.scaling = scaling;
+  o.adaptive = adaptive;
+  return o;
+}
+
+constexpr int kSortIters = 10000;
+constexpr int kMatchIters = 10000;
+constexpr int kLsqIters = 1000;
+constexpr int kIirIters = 1000;
+
+}  // namespace
+
+// ---- Sort -----------------------------------------------------------------
+
+LpSolveConfig SortSgdLs() {
+  LpSolveConfig c;
+  c.sgd = BaseSgd(kSortIters, 0.05, opt::StepScaling::kLinear, false);
+  c.sgd.gradient_clip = 1.0;
+  c.sgd.gradient_votes = 3;
+  c.sgd.iterate_clamp = 1.5;
+  c.sgd.average_tail = 0.3;
+  c.penalty_weight = 2.0;
+  return c;
+}
+
+LpSolveConfig SortSgdAsLs() {
+  LpSolveConfig c = SortSgdLs();
+  c.sgd.adaptive = true;
+  return c;
+}
+
+LpSolveConfig SortSgdAsSqs() {
+  LpSolveConfig c = SortSgdAsLs();
+  c.sgd.scaling = opt::StepScaling::kSqrt;
+  return c;
+}
+
+// ---- Least squares --------------------------------------------------------
+
+opt::SgdOptions LsqSgdLs() {
+  opt::SgdOptions o = BaseSgd(kLsqIters, 0.5, opt::StepScaling::kLinear, false);
+  o.gradient_clip = 10.0;
+  o.gradient_votes = 3;
+  o.iterate_clamp = 100.0;
+  o.average_tail = 0.25;
+  return o;
+}
+
+opt::SgdOptions LsqSgdAsLs() {
+  opt::SgdOptions o = LsqSgdLs();
+  o.adaptive = true;
+  return o;
+}
+
+opt::SgdOptions LsqSgdAsSqs() {
+  // The large-step opening phase is what inflates SQS's error on this
+  // objective: sqrt scaling does not shrink it below the stability
+  // threshold fast enough once faults perturb the gradient.
+  opt::SgdOptions o = BaseSgd(kLsqIters, 0.5, opt::StepScaling::kSqrt, true);
+  o.gradient_clip = 10.0;
+  o.gradient_votes = 3;
+  o.iterate_clamp = 100.0;
+  o.phases = core::LargeStepRefine(0.3, 4.5);
+  return o;
+}
+
+opt::CgOptions LsqCg(int iterations) {
+  opt::CgOptions o;
+  o.iterations = iterations;
+  o.restart_every = 5;
+  return o;
+}
+
+// ---- IIR ------------------------------------------------------------------
+
+opt::SgdOptions IirSgdLs() {
+  opt::SgdOptions o = BaseSgd(kIirIters, 0.12, opt::StepScaling::kLinear, false);
+  o.momentum_beta = 0.90;  // heavy-ball: quadratic objective + noise low-pass
+  o.scaling_time_constant = 250.0;
+  o.gradient_clip = 5.0;
+  o.iterate_clamp = 50.0;
+  o.average_tail = 0.2;
+  return o;
+}
+
+opt::SgdOptions IirSgdAsLs() {
+  opt::SgdOptions o = IirSgdLs();
+  o.adaptive = true;
+  return o;
+}
+
+opt::SgdOptions IirSgdAsSqs() {
+  opt::SgdOptions o = IirSgdAsLs();
+  o.scaling = opt::StepScaling::kSqrt;
+  return o;
+}
+
+// ---- Matching -------------------------------------------------------------
+
+LpSolveConfig MatchingBasicLs() {
+  LpSolveConfig c;
+  c.sgd = BaseSgd(kMatchIters, 0.05, opt::StepScaling::kLinear, false);
+  c.sgd.gradient_clip = 2.0;
+  c.sgd.gradient_votes = 3;
+  c.sgd.iterate_clamp = 1.5;
+  c.sgd.average_tail = 0.3;
+  // Sharp vertices need a stiff penalty; without AS the descent oscillates
+  // against it for most of the run — which is exactly the paper's finding
+  // that basic SGD underperforms the non-robust baseline at low rates.
+  c.penalty_weight = 20.0;
+  return c;
+}
+
+LpSolveConfig MatchingSgdAsLs() {
+  LpSolveConfig c = MatchingBasicLs();
+  c.sgd.adaptive = true;
+  return c;
+}
+
+LpSolveConfig MatchingSgdAsSqs() {
+  LpSolveConfig c = MatchingSgdAsLs();
+  c.sgd.scaling = opt::StepScaling::kSqrt;
+  return c;
+}
+
+LpSolveConfig MatchingSqs() {
+  LpSolveConfig c = MatchingBasicLs();
+  c.sgd.scaling = opt::StepScaling::kSqrt;
+  return c;
+}
+
+LpSolveConfig MatchingPrecond() {
+  LpSolveConfig c = MatchingSgdAsLs();
+  c.precondition = true;
+  return c;
+}
+
+LpSolveConfig MatchingAnneal() {
+  // Annealing needs step budget left for the final stiff phases: pair it
+  // with the slower sqrt decay.
+  LpSolveConfig c = MatchingSgdAsSqs();
+  c.sgd.gradient_clip = 5.0;
+  c.anneal = true;
+  c.anneal_phases = 6;
+  c.anneal_factor = 4.0;
+  return c;
+}
+
+LpSolveConfig MatchingAll() {
+  LpSolveConfig c = MatchingSgdAsSqs();
+  c.sgd.gradient_clip = 5.0;
+  c.sgd.momentum_beta = 0.5;
+  c.precondition = true;
+  c.anneal = true;
+  c.anneal_phases = 6;
+  c.anneal_factor = 4.0;
+  return c;
+}
+
+// ---- Max flow / APSP ------------------------------------------------------
+
+LpSolveConfig DefaultMaxFlowLp() {
+  LpSolveConfig c;
+  c.sgd = BaseSgd(4000, 0.02, opt::StepScaling::kLinear, true);
+  c.sgd.gradient_clip = 10.0;
+  c.sgd.gradient_votes = 3;
+  c.sgd.iterate_clamp = 20.0;
+  c.sgd.average_tail = 0.2;
+  c.penalty_weight = 50.0;
+  c.anneal = true;
+  c.anneal_phases = 6;
+  c.anneal_factor = 4.0;
+  return c;
+}
+
+LpSolveConfig DefaultApspLp() {
+  LpSolveConfig c;
+  c.sgd = BaseSgd(4000, 0.02, opt::StepScaling::kLinear, true);
+  c.sgd.gradient_clip = 10.0;
+  c.sgd.gradient_votes = 3;
+  c.sgd.iterate_clamp = 100.0;
+  c.sgd.average_tail = 0.2;
+  // Distance accuracy is the penalty softness 1/(2W) accumulated along the
+  // path tree, so the APSP LP needs a stiff penalty.
+  c.penalty_weight = 400.0;
+  c.anneal = true;
+  c.anneal_phases = 6;
+  c.anneal_factor = 4.0;
+  return c;
+}
+
+}  // namespace robustify::apps

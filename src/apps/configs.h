@@ -1,0 +1,64 @@
+// Tuned presets for the paper's robustified kernels.
+//
+// Naming follows the figure legends: LS = linear step scaling, SQS = sqrt
+// step scaling, AS = adaptive scaling; the Figure 6.5 matching enhancements
+// add SQS / PRECOND / ANNEAL / ALL on top of Basic,LS.
+#pragma once
+
+#include "core/phases.h"
+#include "opt/cg.h"
+#include "opt/sgd.h"
+
+namespace robustify::apps {
+
+// Shared configuration for the LP-formulated kernels (sort, matching,
+// max-flow, APSP): the SGD engine options plus the penalty-form knobs.
+struct LpSolveConfig {
+  opt::SgdOptions sgd;
+  double penalty_weight = 10.0;
+  bool precondition = false;
+  bool anneal = false;
+  int anneal_phases = 4;
+  double anneal_factor = 8.0;
+};
+
+// Sort (Figure 6.1): 10 000 iterations, 5-element arrays.
+LpSolveConfig SortSgdLs();
+LpSolveConfig SortSgdAsLs();
+LpSolveConfig SortSgdAsSqs();
+
+// Least squares (Figure 6.2): 1000 iterations on the 100x10 problem.
+opt::SgdOptions LsqSgdLs();
+opt::SgdOptions LsqSgdAsLs();
+opt::SgdOptions LsqSgdAsSqs();
+
+// CG least squares (Figures 6.6/6.7).
+opt::CgOptions LsqCg(int iterations);
+
+// IIR (Figure 6.3): 1000 iterations on the 500-sample variational form.
+opt::SgdOptions IirSgdLs();
+opt::SgdOptions IirSgdAsLs();
+opt::SgdOptions IirSgdAsSqs();
+
+// Matching (Figures 6.4/6.5): 10 000 iterations on the 5x6 graph.
+LpSolveConfig MatchingBasicLs();
+LpSolveConfig MatchingSgdAsLs();
+LpSolveConfig MatchingSgdAsSqs();
+LpSolveConfig MatchingSqs();
+LpSolveConfig MatchingPrecond();
+LpSolveConfig MatchingAnneal();
+LpSolveConfig MatchingAll();
+
+// Max-flow / APSP LP robustifications (Sections 4.5-4.6).
+LpSolveConfig DefaultMaxFlowLp();
+LpSolveConfig DefaultApspLp();
+
+struct MaxFlowConfig {
+  LpSolveConfig lp = DefaultMaxFlowLp();
+};
+
+struct ApspConfig {
+  LpSolveConfig lp = DefaultApspLp();
+};
+
+}  // namespace robustify::apps

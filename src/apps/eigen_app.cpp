@@ -1,0 +1,62 @@
+#include "apps/eigen_app.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace robustify::apps {
+
+std::vector<Eigenpair> JacobiEigenSym(const linalg::Matrix<double>& input) {
+  const std::size_t n = input.rows();
+  linalg::Matrix<double> a = input;
+  linalg::Matrix<double> v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  constexpr int kMaxSweeps = 50;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-24) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a(p, q)) < 1e-15) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = a(i, p);
+          const double aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          const double apj = a(p, j);
+          const double aqj = a(q, j);
+          a(p, j) = c * apj - s * aqj;
+          a(q, j) = s * apj + c * aqj;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  std::vector<Eigenpair> pairs(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    pairs[j].value = a(j, j);
+    pairs[j].vector = linalg::Vector<double>(n);
+    for (std::size_t i = 0; i < n; ++i) pairs[j].vector[i] = v(i, j);
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Eigenpair& x, const Eigenpair& y) { return x.value > y.value; });
+  return pairs;
+}
+
+}  // namespace robustify::apps

@@ -1,0 +1,91 @@
+// Eigenpairs via Rayleigh-quotient ascent with deflation (paper Section 4.7).
+//
+// Robust variant: shifted projected ascent — x <- normalize(B x + c x) with
+// c = ||B||_F so the top *algebraic* eigenvalue dominates, projecting out
+// previously found vectors each step.  Every iteration re-reads the matrix
+// from reliable memory, so faults perturb single steps, not the problem.
+// Oracle: cyclic Jacobi on the clean FPU.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/scalar.h"
+#include "linalg/vector.h"
+
+namespace robustify::apps {
+
+struct Eigenpair {
+  double value = 0.0;
+  linalg::Vector<double> vector;
+};
+
+// All eigenpairs of symmetric `a`, sorted by descending eigenvalue.
+std::vector<Eigenpair> JacobiEigenSym(const linalg::Matrix<double>& a);
+
+struct RayleighOptions {
+  int iterations = 200;
+};
+
+template <class T>
+std::vector<Eigenpair> TopEigenpairsRayleigh(const linalg::Matrix<double>& a, std::size_t k,
+                                             const RayleighOptions& options) {
+  using std::sqrt;
+  const std::size_t n = a.rows();
+  const linalg::Matrix<T> b = linalg::Cast<T>(a);
+
+  // Shift so the largest algebraic eigenvalue dominates the power ascent.
+  double frob = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) frob += a(i, j) * a(i, j);
+  }
+  const double shift = std::sqrt(frob) + 1.0;  // reliable setup constant
+
+  std::vector<Eigenpair> pairs;
+  std::vector<linalg::Vector<T>> found;
+  for (std::size_t pair_idx = 0; pair_idx < k && pair_idx < n; ++pair_idx) {
+    linalg::Vector<T> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = T(1.0 / static_cast<double>(1 + i + pair_idx));
+    }
+    for (int it = 0; it < options.iterations; ++it) {
+      // Deflate: project out previously found eigenvectors.
+      for (const auto& v : found) {
+        const T coef = Dot(v, x);
+        for (std::size_t i = 0; i < n; ++i) x[i] -= coef * v[i];
+      }
+      linalg::Vector<T> y = MatVec(b, x);
+      const T c(shift);
+      for (std::size_t i = 0; i < n; ++i) y[i] += c * x[i];
+      const T norm = Norm(y);
+      bool ok = std::isfinite(linalg::AsDouble(norm)) && linalg::AsDouble(norm) > 1e-30;
+      if (ok) {
+        for (std::size_t i = 0; i < n; ++i) {
+          y[i] = y[i] / norm;
+          if (!std::isfinite(linalg::AsDouble(y[i]))) ok = false;
+        }
+      }
+      if (ok) {
+        x = y;
+      } else {
+        // Scrubbed restart from the deterministic seed direction.
+        for (std::size_t i = 0; i < n; ++i) {
+          x[i] = T(1.0 / static_cast<double>(1 + i + pair_idx));
+        }
+      }
+    }
+    // Rayleigh quotient of the converged direction.
+    const linalg::Vector<T> bx = MatVec(b, x);
+    const T num = Dot(x, bx);
+    const T den = Dot(x, x);
+    Eigenpair pair;
+    pair.value = linalg::AsDouble(num / den);
+    pair.vector = ToDouble(x);
+    pairs.push_back(std::move(pair));
+    found.push_back(std::move(x));
+  }
+  return pairs;
+}
+
+}  // namespace robustify::apps

@@ -1,0 +1,124 @@
+// IIR filtering (paper Section 4.3, Figure 6.3).
+//
+// Baseline: the direct-form recursion — feedback makes every faulted output
+// sample contaminate all later samples, so error accrues with t.
+//
+// Robust: the variational form.  The recursion T y = B u (T unit lower
+// triangular banded with the feedback taps) is solved as
+// min 0.5 ||T y - B u||^2 by the SGD engine; faults perturb single descent
+// steps instead of the recursion state.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "linalg/scalar.h"
+#include "linalg/vector.h"
+#include "opt/sgd.h"
+#include "signal/signals.h"
+
+namespace robustify::apps {
+
+template <class T>
+linalg::Vector<double> BaselineIir(const signal::IirCoefficients& coeffs,
+                                   const linalg::Vector<double>& input) {
+  const std::size_t n = input.size();
+  const std::size_t nb = coeffs.b.size();
+  const std::size_t na = coeffs.a.size();
+  linalg::Vector<T> y(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    T acc(0);
+    for (std::size_t k = 0; k < nb && k <= t; ++k) {
+      acc += T(coeffs.b[k]) * T(input[t - k]);
+    }
+    for (std::size_t k = 1; k <= na && k <= t; ++k) {
+      acc -= T(coeffs.a[k - 1]) * y[t - k];
+    }
+    y[t] = acc;
+  }
+  return linalg::ToDouble(y);
+}
+
+namespace detail {
+
+// 0.5 || T y - f ||^2 with f = B u precomputed in T (the forcing term is
+// re-derived from reliable inputs once per solve; the residual and gradient
+// are re-evaluated on the faulty FPU every iteration).
+template <class T>
+class IirObjective {
+ public:
+  IirObjective(const signal::IirCoefficients& coeffs, const linalg::Vector<double>& input)
+      : a_(coeffs.a), n_(input.size()), forcing_(input.size()) {
+    const std::size_t nb = coeffs.b.size();
+    // The forcing term is computed once and then read every iteration, so a
+    // fault here would persist for the whole solve.  Compute it three times
+    // and take the per-sample median (TMR, selected by reliable readout).
+    for (std::size_t t = 0; t < n_; ++t) {
+      double votes[3];
+      for (int rep = 0; rep < 3; ++rep) {
+        T acc(0);
+        for (std::size_t k = 0; k < nb && k <= t; ++k) {
+          acc += T(coeffs.b[k]) * T(input[t - k]);
+        }
+        votes[rep] = linalg::AsDouble(acc);
+      }
+      const double median =
+          std::max(std::min(votes[0], votes[1]),
+                   std::min(std::max(votes[0], votes[1]), votes[2]));
+      forcing_[t] = T(median);
+    }
+  }
+
+  void SetPenaltyScale(double) {}
+
+  T Value(const linalg::Vector<T>& y) const {
+    T acc(0);
+    for (std::size_t t = 0; t < n_; ++t) {
+      const T r = Residual(y, t);
+      acc += r * r;
+    }
+    return T(0.5) * acc;
+  }
+
+  void Gradient(const linalg::Vector<T>& y, linalg::Vector<T>* g) const {
+    // r_t = y_t + sum_k a_k y_{t-k} - f_t;  dF/dy_s = r_s + sum_k a_k r_{s+k}.
+    std::vector<T> r(n_);
+    for (std::size_t t = 0; t < n_; ++t) r[t] = Residual(y, t);
+    const std::size_t na = a_.size();
+    for (std::size_t s = 0; s < n_; ++s) {
+      T acc = r[s];
+      for (std::size_t k = 1; k <= na && s + k < n_; ++k) {
+        acc += T(a_[k - 1]) * r[s + k];
+      }
+      (*g)[s] = acc;
+    }
+  }
+
+ private:
+  T Residual(const linalg::Vector<T>& y, std::size_t t) const {
+    T acc = y[t] - forcing_[t];
+    const std::size_t na = a_.size();
+    for (std::size_t k = 1; k <= na && k <= t; ++k) {
+      acc += T(a_[k - 1]) * y[t - k];
+    }
+    return acc;
+  }
+
+  const std::vector<double>& a_;
+  std::size_t n_;
+  linalg::Vector<T> forcing_;
+};
+
+}  // namespace detail
+
+template <class T>
+linalg::Vector<double> RobustIir(const signal::IirCoefficients& coeffs,
+                                 const linalg::Vector<double>& input,
+                                 const opt::SgdOptions& options) {
+  detail::IirObjective<T> objective(coeffs, input);
+  linalg::Vector<T> y(input.size());
+  y = opt::MinimizeSgd(objective, std::move(y), options);
+  return linalg::ToDouble(y);
+}
+
+}  // namespace robustify::apps

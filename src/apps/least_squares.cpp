@@ -1,0 +1,18 @@
+#include "apps/least_squares.h"
+
+#include <random>
+
+#include "linalg/random.h"
+
+namespace robustify::apps {
+
+LsqProblem MakeRandomLsqProblem(std::size_t m, std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  LsqProblem p;
+  p.a = linalg::RandomMatrix(m, n, rng);
+  p.exact = linalg::RandomVector(n, rng);
+  p.b = linalg::MatVec(p.a, p.exact);
+  return p;
+}
+
+}  // namespace robustify::apps

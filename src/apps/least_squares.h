@@ -1,0 +1,83 @@
+// Least squares (paper Section 4.1, Figures 6.2/6.6/6.7): direct baselines
+// vs the SGD and restarted-CG robustifications.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/lsq.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "opt/cg.h"
+#include "opt/sgd.h"
+
+namespace robustify::apps {
+
+struct LsqProblem {
+  linalg::Matrix<double> a;
+  linalg::Vector<double> b;
+  linalg::Vector<double> exact;  // the true minimizer (b = A * exact)
+};
+
+// Gaussian A (m x n, entries N(0,1)/sqrt(m)) and consistent b = A x*.
+LsqProblem MakeRandomLsqProblem(std::size_t m, std::size_t n, std::uint64_t seed);
+
+// Direct solve on the (possibly faulty) FPU; result read out as double.
+template <class T>
+linalg::Vector<double> SolveLsqBaseline(const LsqProblem& problem, linalg::LsqBaseline which) {
+  const linalg::Matrix<T> a = linalg::Cast<T>(problem.a);
+  const linalg::Vector<T> b = linalg::Cast<T>(problem.b);
+  return linalg::ToDouble(linalg::SolveLsqDirect(a, b, which));
+}
+
+namespace detail {
+
+// 0.5 * ||A x - b||^2 for the SGD engine.
+template <class T>
+class LsqObjective {
+ public:
+  LsqObjective(const linalg::Matrix<T>& a, const linalg::Vector<T>& b) : a_(a), b_(b) {}
+
+  T Value(const linalg::Vector<T>& x) const {
+    const linalg::Vector<T> ax = MatVec(a_, x);
+    T acc(0);
+    for (std::size_t i = 0; i < ax.size(); ++i) {
+      const T r = ax[i] - b_[i];
+      acc += r * r;
+    }
+    return T(0.5) * acc;
+  }
+
+  void Gradient(const linalg::Vector<T>& x, linalg::Vector<T>* g) const {
+    linalg::Vector<T> r = MatVec(a_, x);
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] -= b_[i];
+    linalg::Vector<T> grad = MatTVec(a_, r);
+    for (std::size_t j = 0; j < grad.size(); ++j) (*g)[j] = grad[j];
+  }
+
+  void SetPenaltyScale(double) {}
+
+ private:
+  const linalg::Matrix<T>& a_;
+  const linalg::Vector<T>& b_;
+};
+
+}  // namespace detail
+
+template <class T>
+linalg::Vector<double> SolveLsqSgd(const LsqProblem& problem, const opt::SgdOptions& options) {
+  const linalg::Matrix<T> a = linalg::Cast<T>(problem.a);
+  const linalg::Vector<T> b = linalg::Cast<T>(problem.b);
+  detail::LsqObjective<T> objective(a, b);
+  linalg::Vector<T> x(problem.a.cols());
+  x = opt::MinimizeSgd(objective, std::move(x), options);
+  return linalg::ToDouble(x);
+}
+
+template <class T>
+opt::CgResult SolveLsqCg(const LsqProblem& problem, const opt::CgOptions& options) {
+  const linalg::Matrix<T> a = linalg::Cast<T>(problem.a);
+  const linalg::Vector<T> b = linalg::Cast<T>(problem.b);
+  return opt::SolveCgls(a, b, options);
+}
+
+}  // namespace robustify::apps

@@ -1,0 +1,29 @@
+#include "apps/matching_app.h"
+
+#include <cmath>
+#include <set>
+
+namespace robustify::apps {
+
+bool MatchesOptimal(const graph::BipartiteGraph& g, const graph::Matching& m) {
+  if (static_cast<int>(m.right_of_left.size()) != g.left) return false;
+  // Well-formedness: matched pairs must be real edges, rights distinct.
+  std::set<std::pair<int, int>> edge_set;
+  for (const auto& e : g.edges) edge_set.insert({e.u, e.v});
+  std::set<int> rights;
+  double weight = 0.0;
+  for (int u = 0; u < g.left; ++u) {
+    const int v = m.right_of_left[static_cast<std::size_t>(u)];
+    if (v == -1) continue;
+    if (v < 0 || v >= g.right) return false;
+    if (!rights.insert(v).second) return false;
+    if (edge_set.find({u, v}) == edge_set.end()) return false;
+  }
+  for (const auto& e : g.edges) {
+    if (m.right_of_left[static_cast<std::size_t>(e.u)] == e.v) weight += e.weight;
+  }
+  const double optimal = graph::OptimalMatchingWeight(g);
+  return std::abs(weight - optimal) <= 1e-9 * std::max(1.0, std::abs(optimal));
+}
+
+}  // namespace robustify::apps

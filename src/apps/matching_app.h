@@ -1,0 +1,107 @@
+// Bipartite matching (paper Section 4.4, Figures 6.4/6.5).
+//
+// Baseline: Hungarian on the faulty FPU.  Robust: the matching LP
+//   max sum_e w_e x_e   s.t.  sum_{e at left u} x_e == 1,
+//                             sum_{e at right v} x_e <= 1,  0 <= x_e <= 1
+// descended in penalty form, then rounded greedily by reliable readout.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "apps/configs.h"
+#include "graph/matching.h"
+#include "graph/types.h"
+#include "linalg/scalar.h"
+#include "linalg/vector.h"
+#include "opt/lp.h"
+#include "opt/sgd.h"
+
+namespace robustify::apps {
+
+struct MatchingResult {
+  bool valid = false;
+  graph::Matching matching;
+};
+
+// True when `m` is a well-formed matching whose (cleanly recomputed) weight
+// equals the optimum.
+bool MatchesOptimal(const graph::BipartiteGraph& g, const graph::Matching& m);
+
+template <class T>
+graph::Matching BaselineMatching(const graph::BipartiteGraph& g) {
+  return graph::HungarianMatching<T>(g);
+}
+
+namespace detail {
+
+template <class T>
+opt::PenalizedLp<T> BuildMatchingLp(const graph::BipartiteGraph& g,
+                                    const LpSolveConfig& config) {
+  const std::size_t e = g.edges.size();
+  std::vector<double> cost(e);
+  for (std::size_t k = 0; k < e; ++k) cost[k] = -g.edges[k].weight;  // maximize
+  std::vector<opt::LpConstraint> constraints;
+  for (int u = 0; u < g.left; ++u) {
+    opt::LpConstraint con;
+    con.equality = true;
+    con.rhs = 1.0;
+    for (std::size_t k = 0; k < e; ++k) {
+      if (g.edges[k].u == u) con.terms.push_back({static_cast<int>(k), 1.0});
+    }
+    if (!con.terms.empty()) constraints.push_back(std::move(con));
+  }
+  for (int v = 0; v < g.right; ++v) {
+    opt::LpConstraint con;
+    con.equality = false;
+    con.rhs = 1.0;
+    for (std::size_t k = 0; k < e; ++k) {
+      if (g.edges[k].v == v) con.terms.push_back({static_cast<int>(k), 1.0});
+    }
+    if (!con.terms.empty()) constraints.push_back(std::move(con));
+  }
+  return opt::PenalizedLp<T>(std::move(cost), std::move(constraints),
+                             std::vector<double>(e, 0.0), std::vector<double>(e, 1.0),
+                             config.penalty_weight, config.precondition);
+}
+
+}  // namespace detail
+
+template <class T>
+MatchingResult RobustMatching(const graph::BipartiteGraph& g, const LpSolveConfig& config) {
+  opt::PenalizedLp<T> lp = detail::BuildMatchingLp<T>(g, config);
+  opt::SgdOptions options = config.sgd;
+  if (config.anneal && options.phases.empty()) {
+    options.phases = core::AnnealedPenalty(config.anneal_phases, config.anneal_factor);
+  }
+  linalg::Vector<T> x(g.edges.size(), T(0.5));
+  x = opt::MinimizeSgd(lp, std::move(x), options);
+
+  MatchingResult result;
+  result.valid = AllFinite(x);
+
+  // Greedy rounding by reliable readout: edges in decreasing x order, skip
+  // edges whose endpoint is taken.
+  std::vector<std::size_t> order(g.edges.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return linalg::AsDouble(x[a]) > linalg::AsDouble(x[b]);
+  });
+  result.matching.right_of_left.assign(static_cast<std::size_t>(g.left), -1);
+  std::vector<bool> right_used(static_cast<std::size_t>(g.right), false);
+  double weight = 0.0;
+  for (const std::size_t k : order) {
+    const auto& edge = g.edges[k];
+    if (result.matching.right_of_left[static_cast<std::size_t>(edge.u)] != -1) continue;
+    if (right_used[static_cast<std::size_t>(edge.v)]) continue;
+    result.matching.right_of_left[static_cast<std::size_t>(edge.u)] = edge.v;
+    right_used[static_cast<std::size_t>(edge.v)] = true;
+    weight += edge.weight;
+  }
+  result.matching.weight = weight;
+  return result;
+}
+
+}  // namespace robustify::apps

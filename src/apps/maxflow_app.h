@@ -1,0 +1,74 @@
+// Max flow as an LP (paper Section 4.5, Eqs. 4.6-4.9).
+//
+//   max sum_{e out of s} f_e - sum_{e into s} f_e
+//   s.t. conservation at every interior node, 0 <= f_e <= cap_e
+// descended in penalty form on the faulty FPU.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/configs.h"
+#include "graph/types.h"
+#include "linalg/scalar.h"
+#include "linalg/vector.h"
+#include "opt/lp.h"
+#include "opt/sgd.h"
+
+namespace robustify::apps {
+
+struct FlowResult {
+  bool valid = false;
+  double value = 0.0;
+  std::vector<double> edge_flow;
+};
+
+template <class T>
+FlowResult RobustMaxFlow(const graph::FlowNetwork& net, const MaxFlowConfig& config) {
+  const std::size_t e = net.edges.size();
+  std::vector<double> cost(e, 0.0);
+  std::vector<double> lower(e, 0.0);
+  std::vector<double> upper(e);
+  for (std::size_t k = 0; k < e; ++k) {
+    upper[k] = net.edges[k].capacity;
+    if (net.edges[k].from == net.source) cost[k] -= 1.0;  // maximize outflow
+    if (net.edges[k].to == net.source) cost[k] += 1.0;
+  }
+  std::vector<opt::LpConstraint> constraints;
+  for (int v = 0; v < net.nodes; ++v) {
+    if (v == net.source || v == net.sink) continue;
+    opt::LpConstraint con;
+    con.equality = true;
+    con.rhs = 0.0;
+    for (std::size_t k = 0; k < e; ++k) {
+      if (net.edges[k].to == v) con.terms.push_back({static_cast<int>(k), 1.0});
+      if (net.edges[k].from == v) con.terms.push_back({static_cast<int>(k), -1.0});
+    }
+    if (!con.terms.empty()) constraints.push_back(std::move(con));
+  }
+  opt::PenalizedLp<T> lp(std::move(cost), std::move(constraints), std::move(lower),
+                         std::move(upper), config.lp.penalty_weight,
+                         config.lp.precondition);
+  opt::SgdOptions options = config.lp.sgd;
+  if (config.lp.anneal && options.phases.empty()) {
+    options.phases = core::AnnealedPenalty(config.lp.anneal_phases, config.lp.anneal_factor);
+  }
+  linalg::Vector<T> f(e);
+  f = opt::MinimizeSgd(lp, std::move(f), options);
+  lp.ClampToBox(&f);
+
+  FlowResult result;
+  result.valid = AllFinite(f);
+  // Flow value measured at the source (faulty arithmetic: part of the app).
+  T value(0);
+  for (std::size_t k = 0; k < e; ++k) {
+    if (net.edges[k].from == net.source) value += f[k];
+    if (net.edges[k].to == net.source) value -= f[k];
+  }
+  result.value = linalg::AsDouble(value);
+  result.edge_flow.resize(e);
+  for (std::size_t k = 0; k < e; ++k) result.edge_flow[k] = linalg::AsDouble(f[k]);
+  return result;
+}
+
+}  // namespace robustify::apps

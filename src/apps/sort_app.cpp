@@ -1,0 +1,20 @@
+#include "apps/sort_app.h"
+
+#include <algorithm>
+
+namespace robustify::apps {
+
+bool IsSortedCopyOf(const std::vector<double>& output, const std::vector<double>& input) {
+  if (output.size() != input.size()) return false;
+  for (std::size_t i = 1; i < output.size(); ++i) {
+    if (output[i - 1] > output[i]) return false;
+  }
+  // Exact multiset equality: the kernels move values, never recompute them.
+  std::vector<double> a = output;
+  std::vector<double> b = input;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+}  // namespace robustify::apps

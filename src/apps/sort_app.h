@@ -1,0 +1,174 @@
+// Sort (paper Section 4.2, Figure 6.1).
+//
+// Baseline: insertion sort whose comparisons run on the faulty FPU — one
+// inverted comparison permanently misplaces an element.
+//
+// Robust: sorting as the assignment LP  max sum_ij P_ij * v_i * r_j  over
+// doubly-stochastic P with increasing position scores r_j (rearrangement
+// inequality: the maximizer places larger values at larger positions).  The
+// cost products are recomputed inside every objective/gradient evaluation,
+// so a faulted product perturbs one descent step instead of the problem.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/configs.h"
+#include "linalg/scalar.h"
+#include "linalg/vector.h"
+#include "opt/sgd.h"
+
+namespace robustify::apps {
+
+struct RobustSortResult {
+  bool valid = false;
+  std::vector<double> output;
+};
+
+// Exact multiset copy of `input`, in non-decreasing order (clean check).
+bool IsSortedCopyOf(const std::vector<double>& output, const std::vector<double>& input);
+
+template <class T>
+std::vector<double> BaselineSort(const std::vector<double>& input) {
+  std::vector<T> work;
+  work.reserve(input.size());
+  for (const double v : input) work.push_back(T(v));
+  // Insertion sort: every comparison is a faulty FPU subtraction.  Moves
+  // copy the stored bits, so values are never corrupted — only the order.
+  for (std::size_t i = 1; i < work.size(); ++i) {
+    const T key = work[i];
+    std::size_t j = i;
+    while (j > 0 && key < work[j - 1]) {
+      work[j] = work[j - 1];
+      --j;
+    }
+    work[j] = key;
+  }
+  std::vector<double> out;
+  out.reserve(work.size());
+  for (const T& v : work) out.push_back(linalg::AsDouble(v));
+  return out;
+}
+
+namespace detail {
+
+// Penalized assignment objective for sorting.  Variables: P (n x n,
+// row-major).  F(P) = -sum P_ij v_i r_j + W * (row/column sums == 1)^2
+// penalties + box penalties.  v_i and r_j live in reliable memory; their
+// products are evaluated in T on each call.
+template <class T>
+class SortObjective {
+ public:
+  SortObjective(const std::vector<double>& values, double weight)
+      : values_(values), n_(values.size()), weight_(weight) {}
+
+  void SetPenaltyScale(double s) { penalty_scale_ = s; }
+
+  T Value(const linalg::Vector<T>& p) const {
+    const T w(weight_ * penalty_scale_);
+    T value(0);
+    for (std::size_t i = 0; i < n_; ++i) {
+      const T vi(values_[i]);
+      for (std::size_t j = 0; j < n_; ++j) {
+        value -= vi * T(Rank(j)) * p[i * n_ + j];
+      }
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      T row(0);
+      for (std::size_t j = 0; j < n_; ++j) row += p[i * n_ + j];
+      const T excess = row - T(1);
+      value += w * excess * excess;
+    }
+    for (std::size_t j = 0; j < n_; ++j) {
+      T col(0);
+      for (std::size_t i = 0; i < n_; ++i) col += p[i * n_ + j];
+      const T excess = col - T(1);
+      value += w * excess * excess;
+    }
+    for (std::size_t k = 0; k < n_ * n_; ++k) {
+      // Box-penalty activity decided by the reliable controller.
+      const T lo = T(0) - p[k];
+      if (linalg::AsDouble(lo) > 0.0) value += w * lo * lo;
+      const T hi = p[k] - T(1);
+      if (linalg::AsDouble(hi) > 0.0) value += w * hi * hi;
+    }
+    return value;
+  }
+
+  void Gradient(const linalg::Vector<T>& p, linalg::Vector<T>* g) const {
+    const T two_w(2.0 * weight_ * penalty_scale_);
+    std::vector<T> row_excess(n_, T(0));
+    std::vector<T> col_excess(n_, T(0));
+    for (std::size_t i = 0; i < n_; ++i) {
+      T row(0);
+      for (std::size_t j = 0; j < n_; ++j) row += p[i * n_ + j];
+      row_excess[i] = row - T(1);
+    }
+    for (std::size_t j = 0; j < n_; ++j) {
+      T col(0);
+      for (std::size_t i = 0; i < n_; ++i) col += p[i * n_ + j];
+      col_excess[j] = col - T(1);
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      const T vi(values_[i]);
+      for (std::size_t j = 0; j < n_; ++j) {
+        T grad = -(vi * T(Rank(j))) + two_w * (row_excess[i] + col_excess[j]);
+        const T& pij = p[i * n_ + j];
+        const T lo = T(0) - pij;
+        if (linalg::AsDouble(lo) > 0.0) grad -= two_w * lo;
+        const T hi = pij - T(1);
+        if (linalg::AsDouble(hi) > 0.0) grad += two_w * hi;
+        (*g)[i * n_ + j] = grad;
+      }
+    }
+  }
+
+ private:
+  double Rank(std::size_t j) const {
+    return static_cast<double>(j + 1) / static_cast<double>(n_);
+  }
+
+  const std::vector<double>& values_;
+  std::size_t n_;
+  double weight_;
+  double penalty_scale_ = 1.0;
+};
+
+}  // namespace detail
+
+template <class T>
+RobustSortResult RobustSort(const std::vector<double>& input, const LpSolveConfig& config) {
+  const std::size_t n = input.size();
+  detail::SortObjective<T> objective(input, config.penalty_weight);
+  opt::SgdOptions options = config.sgd;
+  if (config.anneal && options.phases.empty()) {
+    options.phases = core::AnnealedPenalty(config.anneal_phases, config.anneal_factor);
+  }
+  // Start from the uniform doubly-stochastic matrix.
+  linalg::Vector<T> p(n * n, T(1.0 / static_cast<double>(n)));
+  p = opt::MinimizeSgd(objective, std::move(p), options);
+
+  RobustSortResult result;
+  result.valid = AllFinite(p);
+  result.output.assign(n, 0.0);
+  // Round: per position (largest rank first), take the best unused element
+  // by the reliable readout of P.
+  std::vector<bool> used(n, false);
+  for (std::size_t j = 0; j < n; ++j) {
+    int best = -1;
+    double best_score = -1e300;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const double score = linalg::AsDouble(p[i * n + j]);
+      if (best < 0 || score > best_score) {
+        best = static_cast<int>(i);
+        best_score = score;
+      }
+    }
+    used[static_cast<std::size_t>(best)] = true;
+    result.output[j] = input[static_cast<std::size_t>(best)];
+  }
+  return result;
+}
+
+}  // namespace robustify::apps

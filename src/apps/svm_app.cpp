@@ -1,0 +1,37 @@
+#include "apps/svm_app.h"
+
+#include <cmath>
+#include <random>
+
+namespace robustify::apps {
+
+SvmDataset MakeBlobsDataset(int per_class, int dim, double separation, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> normal(0.0, 1.0);
+
+  // Random unit separation direction.
+  std::vector<double> direction(static_cast<std::size_t>(dim));
+  double norm2 = 0.0;
+  for (double& d : direction) {
+    d = normal(rng);
+    norm2 += d * d;
+  }
+  const double inv_norm = 1.0 / std::sqrt(std::max(norm2, 1e-12));
+  for (double& d : direction) d *= inv_norm;
+
+  SvmDataset data;
+  data.x = linalg::Matrix<double>(static_cast<std::size_t>(2 * per_class),
+                                  static_cast<std::size_t>(dim));
+  data.y.resize(static_cast<std::size_t>(2 * per_class));
+  for (int i = 0; i < 2 * per_class; ++i) {
+    const int label = i < per_class ? 1 : -1;
+    data.y[static_cast<std::size_t>(i)] = label;
+    for (int j = 0; j < dim; ++j) {
+      data.x(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          normal(rng) + 0.5 * separation * label * direction[static_cast<std::size_t>(j)];
+    }
+  }
+  return data;
+}
+
+}  // namespace robustify::apps

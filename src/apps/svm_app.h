@@ -1,0 +1,117 @@
+// Linear SVM training (paper Section 4.7): an intrinsically robust
+// data-fitting workload.  Hinge loss + L2 in the Pegasos style, descended by
+// the shared SGD engine so every SgdOptions robustification (AS, TMR voting,
+// momentum, clipping, averaging) applies here too.  Training accuracy is
+// the quality metric.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/scalar.h"
+#include "linalg/vector.h"
+#include "opt/sgd.h"
+
+namespace robustify::apps {
+
+struct SvmDataset {
+  linalg::Matrix<double> x;  // one row per point
+  std::vector<int> y;        // labels in {-1, +1}
+};
+
+// Two Gaussian blobs of `per_class` points in `dim` dimensions whose
+// centers are `separation` apart along a random direction.
+SvmDataset MakeBlobsDataset(int per_class, int dim, double separation, std::uint64_t seed);
+
+struct SvmResult {
+  linalg::Vector<double> w;
+  double bias = 0.0;
+  double train_accuracy = 0.0;
+};
+
+namespace detail {
+
+// Variables: [w_0..w_{dim-1}, bias].
+// F(v) = lambda/2 ||w||^2 + (1/n) sum_i max(0, 1 - y_i (w.x_i + b)).
+template <class T>
+class SvmObjective {
+ public:
+  SvmObjective(const linalg::Matrix<T>& x, const std::vector<int>& y, double lambda)
+      : x_(x), y_(y), lambda_(lambda) {}
+
+  void SetPenaltyScale(double) {}
+
+  T Value(const linalg::Vector<T>& v) const {
+    const std::size_t n = x_.rows();
+    const std::size_t dim = x_.cols();
+    T reg(0);
+    for (std::size_t j = 0; j < dim; ++j) reg += v[j] * v[j];
+    T loss(0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const T margin = Margin(v, i);
+      const T hinge = T(1) - T(static_cast<double>(y_[i])) * margin;
+      // Hinge activity decided by the reliable controller on the readout.
+      if (linalg::AsDouble(hinge) > 0.0) loss += hinge;
+    }
+    return T(0.5 * lambda_) * reg + loss / T(static_cast<double>(n));
+  }
+
+  void Gradient(const linalg::Vector<T>& v, linalg::Vector<T>* g) const {
+    const std::size_t n = x_.rows();
+    const std::size_t dim = x_.cols();
+    const T lam(lambda_);
+    const T inv_n(1.0 / static_cast<double>(n));
+    for (std::size_t j = 0; j < dim; ++j) (*g)[j] = lam * v[j];
+    (*g)[dim] = T(0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const T ylabel(static_cast<double>(y_[i]));
+      if (linalg::AsDouble(ylabel * Margin(v, i)) < 1.0) {
+        const T* row = x_.row(i);
+        for (std::size_t j = 0; j < dim; ++j) (*g)[j] -= inv_n * ylabel * row[j];
+        (*g)[dim] -= inv_n * ylabel;
+      }
+    }
+  }
+
+  T Margin(const linalg::Vector<T>& v, std::size_t i) const {
+    const std::size_t dim = x_.cols();
+    T margin = v[dim];  // bias
+    const T* row = x_.row(i);
+    for (std::size_t j = 0; j < dim; ++j) margin += row[j] * v[j];
+    return margin;
+  }
+
+ private:
+  const linalg::Matrix<T>& x_;
+  const std::vector<int>& y_;
+  double lambda_;
+};
+
+}  // namespace detail
+
+template <class T>
+SvmResult TrainSvm(const SvmDataset& data, double lambda, const opt::SgdOptions& options) {
+  const std::size_t n = data.x.rows();
+  const std::size_t dim = data.x.cols();
+  const linalg::Matrix<T> x = linalg::Cast<T>(data.x);
+  detail::SvmObjective<T> objective(x, data.y, lambda);
+  linalg::Vector<T> v(dim + 1);
+  v = opt::MinimizeSgd(objective, std::move(v), options);
+
+  SvmResult result;
+  result.w = linalg::Vector<double>(dim);
+  for (std::size_t j = 0; j < dim; ++j) result.w[j] = linalg::AsDouble(v[j]);
+  result.bias = linalg::AsDouble(v[dim]);
+  // Training accuracy, classified on the faulty FPU (part of the app).
+  int correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = objective.Margin(v, i) > T(0);
+    if ((data.y[i] > 0) == positive) ++correct;
+  }
+  result.train_accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace robustify::apps

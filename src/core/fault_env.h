@@ -1,0 +1,68 @@
+// FaultEnvironment + WithFaultyFpu: scoped activation of the faulty FPU.
+//
+// A FaultEnvironment describes one operating point of the stochastic
+// processor (per-op fault rate, bit-position model, RNG seed).
+// WithFaultyFpu(env, fn, &stats) installs a FaultInjector for the current
+// thread, runs fn — every faulty::Real op inside routes through the
+// injector — and restores the previous (normally clean) FPU state on exit,
+// exception-safely.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "faulty/bit_distribution.h"
+#include "faulty/fault_injector.h"
+#include "faulty/real.h"
+
+namespace robustify::core {
+
+struct FaultEnvironment {
+  double fault_rate = 0.0;  // probability a given FP op is corrupted
+  std::uint64_t seed = 1;   // drives the injector LFSR (and trial inputs)
+  faulty::BitModel bit_model = faulty::BitModel::kBimodal;
+};
+
+namespace detail {
+
+// RAII: swap the thread's injector in, restore the previous one on exit.
+class FaultScope {
+ public:
+  explicit FaultScope(faulty::FaultInjector* injector)
+      : previous_(faulty::detail::ExchangeThreadInjector(injector)) {}
+  ~FaultScope() { faulty::detail::ExchangeThreadInjector(previous_); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  faulty::FaultInjector* previous_;
+};
+
+}  // namespace detail
+
+template <class Fn>
+auto WithFaultyFpu(const FaultEnvironment& env, Fn&& fn,
+                   faulty::ContextStats* stats = nullptr) -> decltype(fn()) {
+  faulty::FaultInjector injector(env.fault_rate,
+                                 faulty::BitDistribution(env.bit_model), env.seed);
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    {
+      detail::FaultScope scope(&injector);
+      std::forward<Fn>(fn)();
+    }
+    if (stats) *stats = injector.stats();
+  } else {
+    struct Finalizer {
+      faulty::FaultInjector& injector;
+      faulty::ContextStats* stats;
+      ~Finalizer() {
+        if (stats) *stats = injector.stats();
+      }
+    };
+    detail::FaultScope scope(&injector);
+    Finalizer finalize{injector, stats};
+    return std::forward<Fn>(fn)();
+  }
+}
+
+}  // namespace robustify::core

@@ -1,0 +1,42 @@
+// Optimizer phase schedules (large-step exploration / refinement) shared by
+// the SGD engine and the app configs.  Also the benches' umbrella include
+// for the core layer: pulls in the fault environment and faulty::Real.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "core/fault_env.h"
+
+namespace robustify::core {
+
+// One phase of a descent run.  The iteration budget of SgdOptions is split
+// across phases by `fraction`; within a phase the base step is multiplied by
+// `step_scale` and the constraint-penalty weight by `penalty_scale`.
+struct Phase {
+  double fraction = 1.0;
+  double step_scale = 1.0;
+  double penalty_scale = 1.0;
+};
+
+using PhaseSchedule = std::vector<Phase>;
+
+// Large steps for the first `explore_fraction` of the budget, then refine at
+// the base step.  The paper's descent runs open with aggressive steps to
+// escape the noise floor quickly and shrink for the endgame.
+inline PhaseSchedule LargeStepRefine(double explore_fraction, double explore_scale) {
+  return {{explore_fraction, explore_scale, 1.0}, {1.0 - explore_fraction, 1.0, 1.0}};
+}
+
+// Penalty annealing: `count` equal phases whose penalty weight grows by
+// `factor` per phase, ending at the configured weight.  Early phases see a
+// soft landscape (easy to move through), late phases enforce feasibility.
+inline PhaseSchedule AnnealedPenalty(int count, double factor) {
+  PhaseSchedule schedule;
+  for (int i = 0; i < count; ++i) {
+    schedule.push_back({1.0 / count, 1.0, std::pow(factor, i - (count - 1))});
+  }
+  return schedule;
+}
+
+}  // namespace robustify::core

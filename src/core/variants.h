@@ -1,0 +1,25 @@
+// Convenience constructors for the paper's named descent variants.
+#pragma once
+
+#include "core/phases.h"
+#include "opt/sgd.h"
+
+namespace robustify::core {
+
+inline opt::SgdOptions MakeSgd(int iterations, double base_step,
+                               opt::StepScaling scaling) {
+  opt::SgdOptions options;
+  options.iterations = iterations;
+  options.base_step = base_step;
+  options.scaling = scaling;
+  return options;
+}
+
+inline opt::SgdOptions MakeAdaptiveSgd(int iterations, double base_step,
+                                       opt::StepScaling scaling) {
+  opt::SgdOptions options = MakeSgd(iterations, base_step, scaling);
+  options.adaptive = true;
+  return options;
+}
+
+}  // namespace robustify::core

@@ -1,0 +1,84 @@
+#include "faulty/bit_distribution.h"
+
+#include <cmath>
+
+namespace robustify::faulty {
+
+namespace {
+
+std::array<double, kWordBits> ModelWeights(BitModel model) {
+  std::array<double, kWordBits> w{};
+  switch (model) {
+    case BitModel::kBimodal: {
+      // Low mode: short combinational paths, geometric decay upward from
+      // bit 0.  High mode: the long carry chains feeding the top mantissa
+      // bits, peaked just below the exponent boundary.  Exponent and sign
+      // upsets are rare but present (they are what makes faults
+      // occasionally catastrophic rather than merely noisy).
+      for (int b = 0; b <= 11; ++b) {
+        w[static_cast<std::size_t>(b)] = 0.115 * std::exp(-0.30 * b);
+      }
+      for (int b = 40; b <= 51; ++b) {
+        w[static_cast<std::size_t>(b)] = 0.125 * std::exp(-0.35 * (51 - b));
+      }
+      for (int b = 12; b <= 39; ++b) {
+        w[static_cast<std::size_t>(b)] = 0.0008;  // the valley
+      }
+      for (int b = kExponentLow; b <= 62; ++b) {  // full exponent field
+        w[static_cast<std::size_t>(b)] = 0.006 / (b - kExponentLow + 1);
+      }
+      w[kSignBit] = 0.012;
+      break;
+    }
+    case BitModel::kUniform:
+      w.fill(1.0);
+      break;
+    case BitModel::kMsbOnly:
+      for (int b = kExponentLow; b < kWordBits; ++b) w[static_cast<std::size_t>(b)] = 1.0;
+      break;
+    case BitModel::kLsbOnly:
+      for (int b = 0; b <= 11; ++b) w[static_cast<std::size_t>(b)] = 1.0;
+      break;
+  }
+  return w;
+}
+
+}  // namespace
+
+BitDistribution::BitDistribution(const std::array<double, kWordBits>& weights)
+    : weights_(weights) {
+  Normalize();
+}
+
+BitDistribution::BitDistribution(BitModel model) : weights_(ModelWeights(model)) {
+  Normalize();
+}
+
+void BitDistribution::Normalize() {
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  if (total <= 0.0) {
+    weights_.fill(1.0 / kWordBits);
+    total = 1.0;
+  } else {
+    for (double& w : weights_) w /= total;
+  }
+  double acc = 0.0;
+  for (int b = 0; b < kWordBits; ++b) {
+    acc += weights_[static_cast<std::size_t>(b)];
+    cdf_[static_cast<std::size_t>(b)] = acc;
+  }
+  cdf_[kWordBits - 1] = 1.0;  // guard against rounding drift
+}
+
+int BitDistribution::sample(Lfsr& rng) const {
+  const double u = rng.uniform();
+  // 64 entries: linear scan is branch-predictable and as fast as a binary
+  // search at this size.
+  for (int b = 0; b < kWordBits; ++b) {
+    if (u < cdf_[static_cast<std::size_t>(b)]) return b;
+  }
+  return kWordBits - 1;
+}
+
+}  // namespace robustify::faulty

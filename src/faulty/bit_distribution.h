@@ -1,0 +1,54 @@
+// Bit-position distribution of injected faults.
+//
+// The paper calibrates its injector against circuit-level simulation of an
+// overscaled FPU: errors are not uniform over the 64-bit word but bimodal —
+// most upsets land either in the high-order mantissa bits (long carry
+// chains) or in the low-order mantissa bits (short paths that fail first),
+// with a valley in between and only rare corruption of the exponent and
+// sign.  BitDistribution captures that histogram and supports sampling a
+// bit index from it with an Lfsr.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "faulty/lfsr.h"
+
+namespace robustify::faulty {
+
+inline constexpr int kWordBits = 64;
+
+// binary64 layout reference points used by the models below.
+inline constexpr int kMantissaBits = 52;   // bits [0, 51]
+inline constexpr int kExponentLow = 52;    // bits [52, 62]
+inline constexpr int kSignBit = 63;
+
+enum class BitModel {
+  kBimodal,  // paper-calibrated: low-bit and high-mantissa modes
+  kUniform,  // every bit equally likely (hostile: frequent exponent hits)
+  kMsbOnly,  // top 12 bits only (exponent + sign; worst case)
+  kLsbOnly,  // bottom 12 bits only (benign noise)
+};
+
+class BitDistribution {
+ public:
+  // Build from an explicit (unnormalized) 64-entry weight table.
+  explicit BitDistribution(const std::array<double, kWordBits>& weights);
+
+  // Build one of the named models.
+  explicit BitDistribution(BitModel model);
+
+  // Probability that an injected fault flips bit `bit` (normalized).
+  double probability(int bit) const { return weights_[static_cast<std::size_t>(bit)]; }
+
+  // Sample a bit index from the distribution.
+  int sample(Lfsr& rng) const;
+
+ private:
+  void Normalize();
+
+  std::array<double, kWordBits> weights_{};
+  std::array<double, kWordBits> cdf_{};
+};
+
+}  // namespace robustify::faulty

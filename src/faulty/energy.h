@@ -1,0 +1,34 @@
+// FPU energy model for the voltage-overscaling experiments (Figure 6.7).
+//
+// Energy is the paper's axis: relative dynamic power (~V^2, normalized to
+// the nominal 1.0 V supply) times the number of FP operations executed.
+#pragma once
+
+#include <cstdint>
+
+#include "faulty/voltage_model.h"
+
+namespace robustify::faulty {
+
+class EnergyModel {
+ public:
+  EnergyModel() = default;
+
+  // Dynamic power relative to the nominal voltage (V^2 scaling).
+  double relative_power(double voltage) const {
+    const double n = voltage_model_.nominal_voltage();
+    return (voltage * voltage) / (n * n);
+  }
+
+  // Relative energy of running `flops` FP ops at `voltage`.
+  double energy(std::uint64_t flops, double voltage) const {
+    return relative_power(voltage) * static_cast<double>(flops);
+  }
+
+  const VoltageModel& voltage_model() const { return voltage_model_; }
+
+ private:
+  VoltageModel voltage_model_;
+};
+
+}  // namespace robustify::faulty

@@ -1,0 +1,105 @@
+// Per-thread FP fault injector.
+//
+// Models the paper's "stochastic processor": a voltage-overscaled FPU whose
+// arithmetic results are occasionally corrupted by a single-bit upset, while
+// the integer/control core stays reliable.  Every faulty::Real arithmetic
+// operation routes its IEEE-754 double result through the thread-local
+// injector, which counts the op and, with probability `fault_rate`, flips
+// one bit sampled from the configured BitDistribution.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "faulty/bit_distribution.h"
+#include "faulty/lfsr.h"
+
+namespace robustify::faulty {
+
+// Accounting for one activation scope (see core::WithFaultyFpu).
+struct ContextStats {
+  std::uint64_t faulty_flops = 0;    // FP ops executed on the faulty FPU
+  std::uint64_t faults_injected = 0; // how many of them were corrupted
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(double fault_rate, const BitDistribution& bits, std::uint64_t seed)
+      : bits_(bits), rng_(seed ^ 0xA5A5A5A55A5A5A5Aull) {
+    if (fault_rate <= 0.0) {
+      threshold_ = 0;
+    } else if (fault_rate >= 1.0) {
+      threshold_ = ~0ull;
+    } else {
+      threshold_ = static_cast<std::uint64_t>(fault_rate * 18446744073709551616.0);
+      if (threshold_ == 0) threshold_ = 1;
+    }
+  }
+
+  // Hot path: count the op, rarely corrupt it.
+  double Execute(double clean_result) {
+    ++stats_.faulty_flops;
+    if (threshold_ != 0 && rng_.next() < threshold_) return Corrupt(clean_result);
+    return clean_result;
+  }
+
+  // FP comparisons run through the subtractor and the comparator flags; a
+  // timing fault there inverts the predicate outcome.
+  bool ExecuteComparison(bool clean_result) {
+    ++stats_.faulty_flops;
+    if (threshold_ != 0 && rng_.next() < threshold_) {
+      ++stats_.faults_injected;
+      return !clean_result;
+    }
+    return clean_result;
+  }
+
+  const ContextStats& stats() const { return stats_; }
+
+ private:
+  double Corrupt(double value) {
+    ++stats_.faults_injected;
+    const int bit = bits_.sample(rng_);
+    std::uint64_t word;
+    std::memcpy(&word, &value, sizeof(word));
+    word ^= (1ull << bit);
+    std::memcpy(&value, &word, sizeof(value));
+    return value;
+  }
+
+  BitDistribution bits_;
+  Lfsr rng_;
+  std::uint64_t threshold_ = 0;  // fault_rate scaled to the uint64 range
+  ContextStats stats_;
+};
+
+namespace detail {
+
+// The active injector for this thread; null means "clean FPU".
+inline thread_local FaultInjector* tls_injector = nullptr;
+
+// Swap the active injector, returning the previous one (for RAII restore).
+inline FaultInjector* ExchangeThreadInjector(FaultInjector* next) {
+  FaultInjector* prev = tls_injector;
+  tls_injector = next;
+  return prev;
+}
+
+}  // namespace detail
+
+// Routes one FP result through the thread's injector (clean when inactive).
+inline double Execute(double clean_result) {
+  FaultInjector* inj = detail::tls_injector;
+  return inj ? inj->Execute(clean_result) : clean_result;
+}
+
+// Routes one FP comparison outcome through the thread's injector.
+inline bool ExecuteComparison(bool clean_result) {
+  FaultInjector* inj = detail::tls_injector;
+  return inj ? inj->ExecuteComparison(clean_result) : clean_result;
+}
+
+// True when a fault-injection scope is active on this thread.
+inline bool InjectorActive() { return detail::tls_injector != nullptr; }
+
+}  // namespace robustify::faulty

@@ -1,0 +1,49 @@
+#include "faulty/voltage_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace robustify::faulty {
+
+VoltageModel::VoltageModel() {
+  // Calibration points (voltage, log10 errors/OP), shaped after the paper's
+  // circuit-level curve: ~1e-15 at nominal, knee near 0.9 V, ~0.3 at 0.6 V.
+  table_ = {
+      {1.000, -15.0}, {0.975, -13.0}, {0.950, -11.0}, {0.925, -10.0},
+      {0.900, -9.0},  {0.875, -7.5},  {0.850, -6.0},  {0.825, -5.0},
+      {0.800, -4.0},  {0.775, -3.3},  {0.750, -2.7},  {0.725, -2.2},
+      {0.700, -1.8},  {0.675, -1.5},  {0.650, -1.15}, {0.625, -0.85},
+      {0.600, -0.52},
+  };
+}
+
+double VoltageModel::error_rate(double v) const {
+  if (v >= table_.front().voltage) return std::pow(10.0, table_.front().log10_rate);
+  if (v <= table_.back().voltage) return std::pow(10.0, table_.back().log10_rate);
+  for (std::size_t i = 1; i < table_.size(); ++i) {
+    if (v >= table_[i].voltage) {
+      const Point& hi = table_[i - 1];
+      const Point& lo = table_[i];
+      const double t = (v - lo.voltage) / (hi.voltage - lo.voltage);
+      return std::pow(10.0, lo.log10_rate + t * (hi.log10_rate - lo.log10_rate));
+    }
+  }
+  return std::pow(10.0, table_.back().log10_rate);
+}
+
+double VoltageModel::voltage_for_error_rate(double rate) const {
+  const double lr = std::log10(std::max(rate, 1e-300));
+  if (lr <= table_.front().log10_rate) return table_.front().voltage;
+  if (lr >= table_.back().log10_rate) return table_.back().voltage;
+  for (std::size_t i = 1; i < table_.size(); ++i) {
+    if (lr <= table_[i].log10_rate) {
+      const Point& hi = table_[i - 1];  // higher voltage, lower rate
+      const Point& lo = table_[i];
+      const double t = (lr - lo.log10_rate) / (hi.log10_rate - lo.log10_rate);
+      return lo.voltage + t * (hi.voltage - lo.voltage);
+    }
+  }
+  return table_.back().voltage;
+}
+
+}  // namespace robustify::faulty

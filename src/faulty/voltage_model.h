@@ -1,0 +1,38 @@
+// Calibrated supply-voltage → FPU error-rate curve (paper Figure 5.2).
+//
+// The curve is near-zero at the nominal 1.0 V, has a guardband knee around
+// 0.9 V, and rises by orders of magnitude as the FPU is overscaled further.
+// It is stored as a calibration table interpolated log-linearly in the rate;
+// the inverse lookup answers "how far may I overscale for a tolerated rate".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace robustify::faulty {
+
+class VoltageModel {
+ public:
+  VoltageModel();
+
+  // Errors per FP operation at supply voltage `v` (volts, nominal 1.0).
+  double error_rate(double v) const;
+
+  // Lowest voltage whose error rate is still <= `rate` (inverse lookup).
+  double voltage_for_error_rate(double rate) const;
+
+  double nominal_voltage() const { return kNominal; }
+  double min_voltage() const { return kMin; }
+
+  static constexpr double kNominal = 1.0;
+  static constexpr double kMin = 0.60;
+
+ private:
+  struct Point {
+    double voltage;
+    double log10_rate;
+  };
+  std::vector<Point> table_;  // descending voltage
+};
+
+}  // namespace robustify::faulty

@@ -1,0 +1,107 @@
+#include "graph/generators.h"
+
+#include <random>
+#include <set>
+#include <utility>
+
+namespace robustify::graph {
+
+BipartiteGraph RandomBipartite(int left, int right, int edges, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> weight(0.1, 1.0);
+  BipartiteGraph g;
+  g.left = left;
+  g.right = right;
+  if (edges >= left * right) {
+    for (int u = 0; u < left; ++u) {
+      for (int v = 0; v < right; ++v) g.edges.push_back({u, v, weight(rng)});
+    }
+    return g;
+  }
+  std::set<std::pair<int, int>> used;
+  std::uniform_int_distribution<int> pick_u(0, left - 1);
+  std::uniform_int_distribution<int> pick_v(0, right - 1);
+  // Cover every left vertex first so a perfect matching on the smaller side
+  // can exist, then fill with random distinct pairs.
+  for (int u = 0; u < left && static_cast<int>(g.edges.size()) < edges; ++u) {
+    const int v = pick_v(rng);
+    used.insert({u, v});
+    g.edges.push_back({u, v, weight(rng)});
+  }
+  while (static_cast<int>(g.edges.size()) < edges) {
+    const int u = pick_u(rng);
+    const int v = pick_v(rng);
+    if (!used.insert({u, v}).second) continue;
+    g.edges.push_back({u, v, weight(rng)});
+  }
+  return g;
+}
+
+FlowNetwork RandomFlowNetwork(int nodes, int extra_edges, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> capacity(1.0, 4.0);
+  FlowNetwork net;
+  net.nodes = nodes;
+  net.source = 0;
+  net.sink = nodes - 1;
+  std::set<std::pair<int, int>> used;
+  auto add_edge = [&](int from, int to) {
+    if (from == to || !used.insert({from, to}).second) return;
+    // Source-adjacent edges get extra headroom so the min cut lives in the
+    // interior: otherwise the LP's box clamp alone would solve the problem.
+    const double scale = from == net.source ? 3.0 : 1.0;
+    net.edges.push_back({from, to, scale * capacity(rng)});
+  };
+  // Two node-disjoint backbone paths through the interior.
+  const int interior = nodes - 2;
+  const int half = interior / 2;
+  int prev = net.source;
+  for (int i = 1; i <= half; ++i) {
+    add_edge(prev, i);
+    prev = i;
+  }
+  add_edge(prev, net.sink);
+  prev = net.source;
+  for (int i = half + 1; i <= interior; ++i) {
+    add_edge(prev, i);
+    prev = i;
+  }
+  add_edge(prev, net.sink);
+
+  std::uniform_int_distribution<int> pick(0, nodes - 1);
+  const int target = static_cast<int>(net.edges.size()) + extra_edges;
+  int attempts = 0;
+  while (static_cast<int>(net.edges.size()) < target && attempts < 20 * (extra_edges + 1)) {
+    ++attempts;
+    const int from = pick(rng);
+    const int to = pick(rng);
+    if (to == net.source || from == net.sink) continue;
+    add_edge(from, to);
+  }
+  return net;
+}
+
+Digraph RandomDigraph(int nodes, int edges, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> weight(0.1, 2.0);
+  Digraph g;
+  g.nodes = nodes;
+  std::set<std::pair<int, int>> used;
+  for (int u = 0; u < nodes; ++u) {  // Hamiltonian cycle: strong connectivity
+    const int v = (u + 1) % nodes;
+    used.insert({u, v});
+    g.edges.push_back({u, v, weight(rng)});
+  }
+  std::uniform_int_distribution<int> pick(0, nodes - 1);
+  int attempts = 0;
+  while (static_cast<int>(g.edges.size()) < edges && attempts < 40 * edges) {
+    ++attempts;
+    const int u = pick(rng);
+    const int v = pick(rng);
+    if (u == v || !used.insert({u, v}).second) continue;
+    g.edges.push_back({u, v, weight(rng)});
+  }
+  return g;
+}
+
+}  // namespace robustify::graph

@@ -1,0 +1,24 @@
+// Deterministic random graph generators for the paper's problem families.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace robustify::graph {
+
+// Bipartite graph with `left` x `right` vertices and up to `edges` edges
+// (complete when edges >= left*right, as in the paper's 5x6/30-edge family);
+// weights uniform in [0.1, 1.0).
+BipartiteGraph RandomBipartite(int left, int right, int edges, std::uint64_t seed);
+
+// Flow network: source 0, sink nodes-1, two node-disjoint source->sink
+// backbone paths (so max flow is positive) plus `extra_edges` random edges;
+// capacities uniform in [1, 4).
+FlowNetwork RandomFlowNetwork(int nodes, int extra_edges, std::uint64_t seed);
+
+// Strongly connected digraph: a Hamiltonian cycle plus random extra edges up
+// to `edges` total; weights uniform in [0.1, 2.0).
+Digraph RandomDigraph(int nodes, int edges, std::uint64_t seed);
+
+}  // namespace robustify::graph

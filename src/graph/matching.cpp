@@ -1,0 +1,9 @@
+#include "graph/matching.h"
+
+namespace robustify::graph {
+
+double OptimalMatchingWeight(const BipartiteGraph& g) {
+  return HungarianMatching<double>(g).weight;
+}
+
+}  // namespace robustify::graph

@@ -1,0 +1,104 @@
+// Maximum-weight bipartite matching (Hungarian / Kuhn-Munkres with
+// potentials), templated on the scalar.  On faulty::Real its comparisons
+// and reductions run on the faulty FPU — a single inverted comparison
+// commits a wrong augmenting path, which is why the combinatorial baseline
+// degrades with fault rate.  All loop bounds are integers, so it terminates
+// regardless of what the arithmetic does.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+#include "linalg/scalar.h"
+
+namespace robustify::graph {
+
+template <class T>
+Matching HungarianMatching(const BipartiteGraph& g) {
+  using linalg::AsDouble;
+  const int n = g.left;
+  const int m = g.right;
+  constexpr double kBig = 1e30;
+
+  // Dense min-cost matrix: cost = maxw - w so max weight == min cost;
+  // missing edges get a large cost.  Built by data moves (reliable).
+  double maxw = 0.0;
+  for (const auto& e : g.edges) {
+    if (e.weight > maxw) maxw = e.weight;
+  }
+  std::vector<std::vector<double>> cost(static_cast<std::size_t>(n),
+                                        std::vector<double>(static_cast<std::size_t>(m), kBig));
+  for (const auto& e : g.edges) {
+    cost[static_cast<std::size_t>(e.u)][static_cast<std::size_t>(e.v)] = maxw - e.weight;
+  }
+
+  // Jonker-Volgenant style shortest augmenting paths with potentials, all
+  // arithmetic in T.  1-based helper arrays as in the classic formulation.
+  std::vector<T> potential_u(static_cast<std::size_t>(n) + 1, T(0));
+  std::vector<T> potential_v(static_cast<std::size_t>(m) + 1, T(0));
+  std::vector<int> match_v(static_cast<std::size_t>(m) + 1, 0);  // left matched to right j
+  std::vector<int> way(static_cast<std::size_t>(m) + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    match_v[0] = i;
+    int j0 = 0;
+    std::vector<T> min_slack(static_cast<std::size_t>(m) + 1, T(kBig));
+    std::vector<bool> used(static_cast<std::size_t>(m) + 1, false);
+    // At most m+1 column scans per augmentation: integer-bounded.
+    for (int scan = 0; scan <= m && match_v[static_cast<std::size_t>(j0)] != 0; ++scan) {
+      used[static_cast<std::size_t>(j0)] = true;
+      const int i0 = match_v[static_cast<std::size_t>(j0)];
+      T delta(kBig);
+      int j1 = -1;
+      for (int j = 1; j <= m; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        const T cur = T(cost[static_cast<std::size_t>(i0 - 1)][static_cast<std::size_t>(j - 1)]) -
+                      potential_u[static_cast<std::size_t>(i0)] -
+                      potential_v[static_cast<std::size_t>(j)];
+        if (cur < min_slack[static_cast<std::size_t>(j)]) {
+          min_slack[static_cast<std::size_t>(j)] = cur;
+          way[static_cast<std::size_t>(j)] = j0;
+        }
+        if (min_slack[static_cast<std::size_t>(j)] < delta) {
+          delta = min_slack[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      if (j1 < 0) break;  // no free column reachable (shouldn't happen when m >= n)
+      for (int j = 0; j <= m; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          potential_u[static_cast<std::size_t>(match_v[static_cast<std::size_t>(j)])] += delta;
+          potential_v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          min_slack[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    }
+    // Augment along the found path.
+    for (int guard = 0; guard <= m && j0 != 0; ++guard) {
+      const int j1 = way[static_cast<std::size_t>(j0)];
+      match_v[static_cast<std::size_t>(j0)] = match_v[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    }
+  }
+
+  Matching result;
+  result.right_of_left.assign(static_cast<std::size_t>(n), -1);
+  for (int j = 1; j <= m; ++j) {
+    const int i = match_v[static_cast<std::size_t>(j)];
+    if (i >= 1 && i <= n) result.right_of_left[static_cast<std::size_t>(i - 1)] = j - 1;
+  }
+  T total(0);
+  for (const auto& e : g.edges) {
+    if (result.right_of_left[static_cast<std::size_t>(e.u)] == e.v) total += T(e.weight);
+  }
+  result.weight = AsDouble(total);
+  return result;
+}
+
+// Clean oracle: the optimal matching weight on a reliable FPU.
+double OptimalMatchingWeight(const BipartiteGraph& g);
+
+}  // namespace robustify::graph

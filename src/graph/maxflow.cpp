@@ -1,0 +1,59 @@
+#include "graph/maxflow.h"
+
+#include <algorithm>
+
+namespace robustify::graph {
+
+// FIFO push-relabel with exact double arithmetic: the reliable oracle the
+// robustified LP solution is judged against.
+double PushRelabelMaxFlow(const FlowNetwork& net) {
+  const std::size_t n = static_cast<std::size_t>(net.nodes);
+  auto adj = detail::BuildResidual(net);
+
+  std::vector<double> excess(n, 0.0);
+  std::vector<int> height(n, 0);
+  height[static_cast<std::size_t>(net.source)] = net.nodes;
+
+  std::queue<int> active;
+  auto push = [&](int u, detail::ResidualEdge& e) {
+    const double amount = std::min(excess[static_cast<std::size_t>(u)], e.capacity);
+    if (amount <= 0.0) return;
+    e.capacity -= amount;
+    adj[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)].capacity += amount;
+    excess[static_cast<std::size_t>(u)] -= amount;
+    const bool was_inactive = excess[static_cast<std::size_t>(e.to)] == 0.0;
+    excess[static_cast<std::size_t>(e.to)] += amount;
+    if (was_inactive && e.to != net.source && e.to != net.sink) active.push(e.to);
+  };
+
+  // Saturate all source edges.
+  excess[static_cast<std::size_t>(net.source)] = 0.0;
+  for (auto& e : adj[static_cast<std::size_t>(net.source)]) {
+    excess[static_cast<std::size_t>(net.source)] += e.capacity;
+  }
+  for (auto& e : adj[static_cast<std::size_t>(net.source)]) push(net.source, e);
+
+  while (!active.empty()) {
+    const int u = active.front();
+    active.pop();
+    while (excess[static_cast<std::size_t>(u)] > 1e-12) {
+      int min_height = 2 * net.nodes + 1;
+      for (auto& e : adj[static_cast<std::size_t>(u)]) {
+        if (e.capacity <= 1e-12) continue;
+        if (height[static_cast<std::size_t>(e.to)] == height[static_cast<std::size_t>(u)] - 1) {
+          push(u, e);
+          if (excess[static_cast<std::size_t>(u)] <= 1e-12) break;
+        }
+        min_height = std::min(min_height, height[static_cast<std::size_t>(e.to)]);
+      }
+      if (excess[static_cast<std::size_t>(u)] > 1e-12) {
+        if (min_height >= 2 * net.nodes + 1) break;  // no admissible or relabelable edge
+        height[static_cast<std::size_t>(u)] = min_height + 1;  // relabel
+      }
+    }
+  }
+  // Excess accumulated at the sink is exactly the max-flow value.
+  return excess[static_cast<std::size_t>(net.sink)];
+}
+
+}  // namespace robustify::graph

@@ -1,0 +1,110 @@
+// Max flow: Edmonds-Karp (templated; the faulty combinatorial baseline) and
+// a clean push-relabel oracle.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "graph/types.h"
+#include "linalg/scalar.h"
+
+namespace robustify::graph {
+
+namespace detail {
+
+struct ResidualEdge {
+  int to;
+  int rev;  // index of the reverse edge in adj[to]
+  double capacity;
+};
+
+inline std::vector<std::vector<ResidualEdge>> BuildResidual(const FlowNetwork& net) {
+  std::vector<std::vector<ResidualEdge>> adj(static_cast<std::size_t>(net.nodes));
+  for (const auto& e : net.edges) {
+    const auto u = static_cast<std::size_t>(e.from);
+    const auto v = static_cast<std::size_t>(e.to);
+    adj[u].push_back({e.to, static_cast<int>(adj[v].size()), e.capacity});
+    adj[v].push_back({e.from, static_cast<int>(adj[u].size()) - 1, 0.0});
+  }
+  return adj;
+}
+
+}  // namespace detail
+
+// Edmonds-Karp with residual arithmetic in T.  Faults can misjudge residual
+// capacities or augmentation amounts; the augmentation count is capped so
+// the algorithm always terminates.
+template <class T>
+MaxFlowResult EdmondsKarpMaxFlow(const FlowNetwork& net) {
+  using linalg::AsDouble;
+  const std::size_t n = static_cast<std::size_t>(net.nodes);
+  // Residual capacities held in T.
+  std::vector<std::vector<detail::ResidualEdge>> shape = detail::BuildResidual(net);
+  std::vector<std::vector<T>> residual(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const auto& e : shape[u]) residual[u].push_back(T(e.capacity));
+  }
+
+  T flow(0);
+  // Clean Edmonds-Karp needs at most O(V*E/2) augmentations; the cap only
+  // has to bound runs whose residual arithmetic is corrupted.
+  const int max_augmentations =
+      net.nodes * static_cast<int>(net.edges.size()) + 16;
+  int augmentations = 0;
+  for (; augmentations < max_augmentations; ++augmentations) {
+    // BFS for the shortest augmenting path (integer control; the residual
+    // test `cap > eps` is a faulty comparison).
+    std::vector<int> prev_node(n, -1);
+    std::vector<int> prev_edge(n, -1);
+    std::queue<int> frontier;
+    frontier.push(net.source);
+    prev_node[static_cast<std::size_t>(net.source)] = net.source;
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      const auto& edges = shape[static_cast<std::size_t>(u)];
+      for (std::size_t k = 0; k < edges.size(); ++k) {
+        const int v = edges[k].to;
+        if (prev_node[static_cast<std::size_t>(v)] != -1) continue;
+        if (!(residual[static_cast<std::size_t>(u)][k] > T(1e-9))) continue;
+        prev_node[static_cast<std::size_t>(v)] = u;
+        prev_edge[static_cast<std::size_t>(v)] = static_cast<int>(k);
+        frontier.push(v);
+      }
+    }
+    if (prev_node[static_cast<std::size_t>(net.sink)] == -1) break;
+
+    // Bottleneck along the path (faulty min), then push.
+    T bottleneck(1e30);
+    for (int v = net.sink; v != net.source;) {
+      const int u = prev_node[static_cast<std::size_t>(v)];
+      const auto k = static_cast<std::size_t>(prev_edge[static_cast<std::size_t>(v)]);
+      if (residual[static_cast<std::size_t>(u)][k] < bottleneck) {
+        bottleneck = residual[static_cast<std::size_t>(u)][k];
+      }
+      v = u;
+    }
+    if (!std::isfinite(AsDouble(bottleneck)) || AsDouble(bottleneck) <= 0.0) break;
+    for (int v = net.sink; v != net.source;) {
+      const int u = prev_node[static_cast<std::size_t>(v)];
+      const auto k = static_cast<std::size_t>(prev_edge[static_cast<std::size_t>(v)]);
+      residual[static_cast<std::size_t>(u)][k] -= bottleneck;
+      const auto rev = static_cast<std::size_t>(shape[static_cast<std::size_t>(u)][k].rev);
+      residual[static_cast<std::size_t>(v)][rev] += bottleneck;
+      v = u;
+    }
+    flow += bottleneck;
+  }
+
+  MaxFlowResult result;
+  result.value = AsDouble(flow);
+  result.augmentations = augmentations;
+  return result;
+}
+
+// Clean FIFO push-relabel oracle (reliable double arithmetic).
+double PushRelabelMaxFlow(const FlowNetwork& net);
+
+}  // namespace robustify::graph

@@ -1,0 +1,35 @@
+#include "graph/shortest_paths.h"
+
+namespace robustify::graph {
+
+linalg::Matrix<double> AllPairsDijkstra(const Digraph& g) {
+  const std::size_t n = static_cast<std::size_t>(g.nodes);
+  std::vector<std::vector<std::pair<int, double>>> adj(n);
+  for (const auto& e : g.edges) {
+    adj[static_cast<std::size_t>(e.from)].push_back({e.to, e.weight});
+  }
+  linalg::Matrix<double> dist(n, n);
+  for (std::size_t s = 0; s < n; ++s) {
+    std::vector<double> d(n, kUnreachable);
+    std::vector<bool> done(n, false);
+    d[s] = 0.0;
+    for (std::size_t round = 0; round < n; ++round) {
+      int best = -1;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!done[v] && (best < 0 || d[v] < d[static_cast<std::size_t>(best)])) {
+          best = static_cast<int>(v);
+        }
+      }
+      if (best < 0 || d[static_cast<std::size_t>(best)] >= kUnreachable) break;
+      done[static_cast<std::size_t>(best)] = true;
+      for (const auto& [to, w] : adj[static_cast<std::size_t>(best)]) {
+        const double cand = d[static_cast<std::size_t>(best)] + w;
+        if (cand < d[static_cast<std::size_t>(to)]) d[static_cast<std::size_t>(to)] = cand;
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) dist(s, v) = d[v];
+  }
+  return dist;
+}
+
+}  // namespace robustify::graph

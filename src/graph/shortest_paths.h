@@ -1,0 +1,44 @@
+// All-pairs shortest paths: Floyd-Warshall (templated; the faulty
+// combinatorial baseline) and a clean repeated-Dijkstra oracle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+#include "linalg/matrix.h"
+
+namespace robustify::graph {
+
+inline constexpr double kUnreachable = 1e30;  // finite sentinel: no Inf arithmetic
+
+// Floyd-Warshall with the min/add relaxations in T: a corrupted relaxation
+// poisons every later path that reads the entry, which is why the baseline
+// loses correctness with fault rate.
+template <class T>
+linalg::Matrix<T> FloydWarshall(const Digraph& g) {
+  const std::size_t n = static_cast<std::size_t>(g.nodes);
+  linalg::Matrix<T> dist(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) dist(i, j) = T(i == j ? 0.0 : kUnreachable);
+  }
+  for (const auto& e : g.edges) {
+    const auto u = static_cast<std::size_t>(e.from);
+    const auto v = static_cast<std::size_t>(e.to);
+    if (T(e.weight) < dist(u, v)) dist(u, v) = T(e.weight);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const T through = dist(i, k) + dist(k, j);
+        if (through < dist(i, j)) dist(i, j) = through;
+      }
+    }
+  }
+  return dist;
+}
+
+// Clean oracle: Dijkstra from every source (reliable double arithmetic).
+linalg::Matrix<double> AllPairsDijkstra(const Digraph& g);
+
+}  // namespace robustify::graph

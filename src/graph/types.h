@@ -1,0 +1,53 @@
+// Graph problem types (clean double data in reliable memory).
+#pragma once
+
+#include <vector>
+
+namespace robustify::graph {
+
+struct BipartiteGraph {
+  struct Edge {
+    int u = 0;  // left vertex
+    int v = 0;  // right vertex
+    double weight = 0.0;
+  };
+  int left = 0;
+  int right = 0;
+  std::vector<Edge> edges;
+};
+
+// A matching over a BipartiteGraph: right_of_left[u] is the matched right
+// vertex of left vertex u, or -1.
+struct Matching {
+  std::vector<int> right_of_left;
+  double weight = 0.0;
+};
+
+struct FlowNetwork {
+  struct Edge {
+    int from = 0;
+    int to = 0;
+    double capacity = 0.0;
+  };
+  int nodes = 0;
+  int source = 0;
+  int sink = 0;
+  std::vector<Edge> edges;
+};
+
+struct Digraph {
+  struct Edge {
+    int from = 0;
+    int to = 0;
+    double weight = 0.0;
+  };
+  int nodes = 0;
+  std::vector<Edge> edges;
+};
+
+struct MaxFlowResult {
+  double value = 0.0;
+  int augmentations = 0;
+};
+
+}  // namespace robustify::graph

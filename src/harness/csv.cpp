@@ -1,0 +1,48 @@
+#include "harness/csv.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace robustify::harness {
+
+namespace {
+
+std::string Quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';  // CSV escaping: double the quote
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void WriteSweepCsv(const std::string& path, const std::vector<Series>& series) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  os << "fault_rate";
+  for (const Series& s : series) {
+    os << "," << Quoted(s.name + " success_pct") << "," << Quoted(s.name + " median_metric")
+       << "," << Quoted(s.name + " mean_faulty_flops");
+  }
+  os << "\n";
+  if (series.empty()) return;
+  for (std::size_t r = 0; r < series.front().points.size(); ++r) {
+    os << series.front().points[r].fault_rate;
+    for (const Series& s : series) {
+      if (r < s.points.size()) {
+        const TrialSummary& sum = s.points[r].summary;
+        os << "," << sum.success_rate_pct << "," << sum.median_metric << ","
+           << sum.mean_faulty_flops;
+      } else {
+        os << ",,,";
+      }
+    }
+    os << "\n";
+  }
+  if (!os) throw std::runtime_error("failed writing " + path);
+}
+
+}  // namespace robustify::harness

@@ -1,0 +1,17 @@
+// CSV export of sweep results for offline plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/sweep.h"
+
+namespace robustify::harness {
+
+// Writes fault_rate plus, per series, success_pct / median_metric /
+// mean_faulty_flops columns.  Series names are quoted (they contain commas,
+// e.g. "SGD+AS,LS").  Throws std::runtime_error if the file cannot be
+// written.
+void WriteSweepCsv(const std::string& path, const std::vector<Series>& series);
+
+}  // namespace robustify::harness

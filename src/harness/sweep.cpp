@@ -1,0 +1,24 @@
+#include "harness/sweep.h"
+
+namespace robustify::harness {
+
+std::vector<Series> RunFaultRateSweep(const SweepConfig& config,
+                                      const std::vector<NamedTrial>& trials) {
+  std::vector<Series> result;
+  result.reserve(trials.size());
+  for (const NamedTrial& trial : trials) {
+    Series series;
+    series.name = trial.name;
+    for (const double rate : config.fault_rates) {
+      core::FaultEnvironment env;
+      env.fault_rate = rate;
+      env.seed = config.base_seed;
+      env.bit_model = config.bit_model;
+      series.points.push_back({rate, RunTrials(trial.fn, env, config.trials)});
+    }
+    result.push_back(std::move(series));
+  }
+  return result;
+}
+
+}  // namespace robustify::harness

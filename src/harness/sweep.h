@@ -1,0 +1,38 @@
+// Fault-rate sweeps: the x-axis of every figure in the paper's Chapter 6.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/trial.h"
+
+namespace robustify::harness {
+
+struct SweepConfig {
+  std::vector<double> fault_rates;
+  int trials = 10;
+  std::uint64_t base_seed = 1;
+  faulty::BitModel bit_model = faulty::BitModel::kBimodal;
+};
+
+struct SeriesPoint {
+  double fault_rate = 0.0;
+  TrialSummary summary;
+};
+
+struct Series {
+  std::string name;
+  std::vector<SeriesPoint> points;
+};
+
+struct NamedTrial {
+  std::string name;
+  TrialFn fn;
+};
+
+// Runs every named trial at every fault rate (one Series per trial).
+std::vector<Series> RunFaultRateSweep(const SweepConfig& config,
+                                      const std::vector<NamedTrial>& trials);
+
+}  // namespace robustify::harness

@@ -1,0 +1,67 @@
+#include "harness/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace robustify::harness {
+
+double ExtractValue(const TrialSummary& summary, TableValue value) {
+  switch (value) {
+    case TableValue::kSuccessRatePct: return summary.success_rate_pct;
+    case TableValue::kMedianMetric: return summary.median_metric;
+    case TableValue::kMeanMetric: return summary.mean_metric;
+    case TableValue::kMeanFaultyFlops: return summary.mean_faulty_flops;
+  }
+  return 0.0;
+}
+
+namespace {
+
+constexpr int kColWidth = 16;
+
+std::string FormatCell(double v, TableValue value) {
+  char buf[64];
+  if (value == TableValue::kSuccessRatePct) {
+    std::snprintf(buf, sizeof(buf), "%-*.1f", kColWidth, v);
+  } else if (!std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%-*s", kColWidth, "inf");
+  } else {
+    std::snprintf(buf, sizeof(buf), "%-*.4e", kColWidth, v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void PrintSweepTable(std::ostream& os, const std::string& title,
+                     const std::vector<Series>& series, TableValue value,
+                     const std::string& value_label) {
+  os << title << "\n";
+  os << "value: " << value_label << "\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%-*s", kColWidth, "fault_rate");
+  os << buf;
+  for (const Series& s : series) {
+    std::string name = s.name;
+    if (name.size() > kColWidth - 2) name = name.substr(0, kColWidth - 2);
+    std::snprintf(buf, sizeof(buf), "%-*s", kColWidth, name.c_str());
+    os << buf;
+  }
+  os << "\n";
+  const std::size_t total_width = kColWidth * (series.size() + 1);
+  os << std::string(total_width, '-') << "\n";
+  if (series.empty()) return;
+  for (std::size_t r = 0; r < series.front().points.size(); ++r) {
+    std::snprintf(buf, sizeof(buf), "%-*.6g", kColWidth, series.front().points[r].fault_rate);
+    os << buf;
+    for (const Series& s : series) {
+      const double v = r < s.points.size() ? ExtractValue(s.points[r].summary, value)
+                                           : 0.0;
+      os << FormatCell(v, value);
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace robustify::harness

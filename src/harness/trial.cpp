@@ -1,0 +1,44 @@
+#include "harness/trial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace robustify::harness {
+
+TrialSummary RunTrials(const TrialFn& fn, core::FaultEnvironment env, int trials) {
+  const std::uint64_t base_seed = env.seed;
+  TrialSummary summary;
+  summary.trials = trials;
+  std::vector<double> metrics;
+  metrics.reserve(static_cast<std::size_t>(trials));
+  double finite_sum = 0.0;
+  int finite_count = 0;
+  for (int t = 0; t < trials; ++t) {
+    env.seed = base_seed + static_cast<std::uint64_t>(t);
+    const TrialOutcome outcome = fn(env);
+    if (outcome.success) ++summary.successes;
+    const double metric = std::isfinite(outcome.metric)
+                              ? outcome.metric
+                              : std::numeric_limits<double>::infinity();
+    metrics.push_back(metric);
+    if (std::isfinite(metric)) {
+      finite_sum += metric;
+      ++finite_count;
+    }
+    summary.mean_faulty_flops +=
+        static_cast<double>(outcome.fpu_stats.faulty_flops) / trials;
+    summary.mean_faults_injected +=
+        static_cast<double>(outcome.fpu_stats.faults_injected) / trials;
+  }
+  summary.success_rate_pct = trials > 0 ? 100.0 * summary.successes / trials : 0.0;
+  if (!metrics.empty()) {
+    std::sort(metrics.begin(), metrics.end());
+    summary.median_metric = metrics[metrics.size() / 2];
+  }
+  summary.mean_metric = finite_count > 0 ? finite_sum / finite_count : 0.0;
+  return summary;
+}
+
+}  // namespace robustify::harness

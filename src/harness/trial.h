@@ -1,0 +1,34 @@
+// Trial primitives: run one robustness experiment many times at a fixed
+// fault environment and summarize success rate and quality metrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/fault_env.h"
+
+namespace robustify::harness {
+
+struct TrialOutcome {
+  bool success = false;
+  double metric = 0.0;  // app-specific quality (lower is better)
+  faulty::ContextStats fpu_stats;
+};
+
+using TrialFn = std::function<TrialOutcome(const core::FaultEnvironment&)>;
+
+struct TrialSummary {
+  int trials = 0;
+  int successes = 0;
+  double success_rate_pct = 0.0;
+  double median_metric = 0.0;  // non-finite trial metrics count as +inf
+  double mean_metric = 0.0;    // mean over finite metrics only
+  double mean_faulty_flops = 0.0;
+  double mean_faults_injected = 0.0;
+};
+
+// Runs `trials` trials; trial t uses env.seed = base.seed + t so inputs and
+// fault sequences differ per trial but are paired across fault rates.
+TrialSummary RunTrials(const TrialFn& fn, core::FaultEnvironment env, int trials);
+
+}  // namespace robustify::harness

@@ -1,0 +1,184 @@
+// Direct least-squares baselines: Householder QR, one-sided Jacobi SVD, and
+// Cholesky on the normal equations.  Templated on the scalar so the same
+// code is the clean oracle (double) and the faulty baseline (faulty::Real).
+//
+// Every loop bound is an integer decided by problem shape — never by a
+// floating-point convergence test alone — so the solvers terminate even
+// when faults corrupt the values they iterate on.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace robustify::linalg {
+
+enum class LsqBaseline { kSvd, kQr, kCholesky };
+
+// min ||A x - b|| via Householder QR (A m x n, m >= n).
+template <class T>
+Vector<T> SolveLsqQr(Matrix<T> a, Vector<T> b) {
+  using std::sqrt;
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k.
+    T norm2(0);
+    for (std::size_t i = k; i < m; ++i) norm2 += a(i, k) * a(i, k);
+    T alpha = sqrt(norm2);
+    if (AsDouble(a(k, k)) > 0.0) alpha = -alpha;
+    Vector<T> v(m - k);
+    v[0] = a(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = a(i, k);
+    T vtv(0);
+    for (std::size_t i = 0; i < v.size(); ++i) vtv += v[i] * v[i];
+    a(k, k) = alpha;
+    for (std::size_t i = k + 1; i < m; ++i) a(i, k) = T(0);
+    if (AsDouble(vtv) == 0.0) continue;
+    // Apply H = I - 2 v v^T / (v^T v) to the trailing columns and to b.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      T dot(0);
+      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * a(i, j);
+      const T scale = T(2) * dot / vtv;
+      for (std::size_t i = k; i < m; ++i) a(i, j) -= scale * v[i - k];
+    }
+    T dot(0);
+    for (std::size_t i = k; i < m; ++i) dot += v[i - k] * b[i];
+    const T scale = T(2) * dot / vtv;
+    for (std::size_t i = k; i < m; ++i) b[i] -= scale * v[i - k];
+  }
+  // Back substitution on the n x n upper triangle.
+  Vector<T> x(n);
+  for (std::size_t kk = n; kk-- > 0;) {
+    T acc = b[kk];
+    for (std::size_t j = kk + 1; j < n; ++j) acc -= a(kk, j) * x[j];
+    x[kk] = acc / a(kk, kk);
+  }
+  return x;
+}
+
+// min ||A x - b|| via one-sided Jacobi SVD (A = U S V^T, x = V S^+ U^T b).
+template <class T>
+Vector<T> SolveLsqSvd(Matrix<T> a, const Vector<T>& b) {
+  using std::sqrt;
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  // V accumulates the right rotations.
+  Matrix<T> v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = T(1);
+
+  constexpr int kMaxSweeps = 12;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        T app(0), aqq(0), apq(0);
+        for (std::size_t i = 0; i < m; ++i) {
+          app += a(i, p) * a(i, p);
+          aqq += a(i, q) * a(i, q);
+          apq += a(i, p) * a(i, q);
+        }
+        const double apq_d = AsDouble(apq);
+        const double den_d = AsDouble(app) * AsDouble(aqq);
+        if (!(apq_d * apq_d > 1e-30 * den_d)) continue;  // already orthogonal
+        // Jacobi rotation angle.
+        const T tau = (aqq - app) / (T(2) * apq);
+        T t;
+        if (AsDouble(tau) >= 0.0) {
+          t = T(1) / (tau + sqrt(T(1) + tau * tau));
+        } else {
+          t = T(-1) / (-tau + sqrt(T(1) + tau * tau));
+        }
+        const T c = T(1) / sqrt(T(1) + t * t);
+        const T s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const T aip = a(i, p);
+          const T aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const T vip = v(i, p);
+          const T viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Singular values are the column norms; x = V S^{-2} (A' )^T b with
+  // A' = U S the rotated columns, i.e. x = sum_j v_j (u_j . b) / s_j.
+  Vector<T> x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    T s2(0);
+    for (std::size_t i = 0; i < m; ++i) s2 += a(i, j) * a(i, j);
+    T proj(0);
+    for (std::size_t i = 0; i < m; ++i) proj += a(i, j) * b[i];
+    if (AsDouble(s2) <= 1e-24) continue;  // null direction: pseudo-inverse drops it
+    const T coef = proj / s2;
+    for (std::size_t i = 0; i < n; ++i) x[i] += coef * v(i, j);
+  }
+  return x;
+}
+
+// min ||A x - b|| via the normal equations and Cholesky.
+template <class T>
+Vector<T> SolveLsqCholesky(const Matrix<T>& a, const Vector<T>& b) {
+  using std::sqrt;
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Matrix<T> g(n, n);  // A^T A
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      T acc(0);
+      for (std::size_t r = 0; r < m; ++r) acc += a(r, i) * a(r, j);
+      g(i, j) = acc;
+      g(j, i) = acc;
+    }
+  }
+  Vector<T> c(n);  // A^T b
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t j = 0; j < n; ++j) c[j] += a(r, j) * b[r];
+  }
+  // Cholesky G = L L^T (in place, lower triangle).
+  Matrix<T> l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      T acc = g(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      if (i == j) {
+        l(i, j) = sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+  // Forward then back substitution.
+  Vector<T> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    T acc = c[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+    y[i] = acc / l(i, i);
+  }
+  Vector<T> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    T acc = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= l(k, i) * x[k];
+    x[i] = acc / l(i, i);
+  }
+  return x;
+}
+
+template <class T>
+Vector<T> SolveLsqDirect(const Matrix<T>& a, const Vector<T>& b, LsqBaseline which) {
+  switch (which) {
+    case LsqBaseline::kQr: return SolveLsqQr(a, b);
+    case LsqBaseline::kSvd: return SolveLsqSvd(a, b);
+    case LsqBaseline::kCholesky: return SolveLsqCholesky(a, b);
+  }
+  return Vector<T>(a.cols());
+}
+
+}  // namespace robustify::linalg

@@ -1,0 +1,75 @@
+// Dense row-major matrix templated on the scalar type.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/scalar.h"
+#include "linalg/vector.h"
+
+namespace robustify::linalg {
+
+template <class T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, T(0)) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T& operator()(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  const T& operator()(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
+
+  T* row(std::size_t i) { return data_.data() + i * cols_; }
+  const T* row(std::size_t i) const { return data_.data() + i * cols_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+// y = A x
+template <class T>
+Vector<T> MatVec(const Matrix<T>& a, const Vector<T>& x) {
+  Vector<T> y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    T acc(0);
+    const T* row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+// y = A^T x
+template <class T>
+Vector<T> MatTVec(const Matrix<T>& a, const Vector<T>& x) {
+  Vector<T> y(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const T* row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * x[i];
+  }
+  return y;
+}
+
+template <class T>
+Matrix<double> ToDouble(const Matrix<T>& m) {
+  Matrix<double> out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) out(i, j) = AsDouble(m(i, j));
+  }
+  return out;
+}
+
+template <class T>
+Matrix<T> Cast(const Matrix<double>& m) {
+  Matrix<T> out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) out(i, j) = T(m(i, j));
+  }
+  return out;
+}
+
+}  // namespace robustify::linalg

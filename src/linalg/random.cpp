@@ -1,0 +1,37 @@
+#include "linalg/random.h"
+
+#include <cmath>
+
+namespace robustify::linalg {
+
+Matrix<double> RandomMatrix(std::size_t rows, std::size_t cols, std::mt19937_64& rng) {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(rows));
+  Matrix<double> a(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) a(i, j) = dist(rng) * scale;
+  }
+  return a;
+}
+
+Vector<double> RandomVector(std::size_t n, std::mt19937_64& rng) {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  Vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = dist(rng);
+  return v;
+}
+
+Matrix<double> RandomSymmetricMatrix(std::size_t n, std::mt19937_64& rng) {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  Matrix<double> a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double g = dist(rng);
+      a(i, j) = g;
+      a(j, i) = g;
+    }
+  }
+  return a;
+}
+
+}  // namespace robustify::linalg

@@ -1,0 +1,22 @@
+// Deterministic random problem generators (clean double data).
+#pragma once
+
+#include <cstddef>
+#include <random>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace robustify::linalg {
+
+// Entries ~ N(0, 1) / sqrt(rows): keeps A^T A's spectrum O(1) so descent
+// step sizes are problem-size independent.
+Matrix<double> RandomMatrix(std::size_t rows, std::size_t cols, std::mt19937_64& rng);
+
+// Entries ~ N(0, 1).
+Vector<double> RandomVector(std::size_t n, std::mt19937_64& rng);
+
+// Symmetric with entries ~ N(0, 1) (A = (G + G^T) / 2).
+Matrix<double> RandomSymmetricMatrix(std::size_t n, std::mt19937_64& rng);
+
+}  // namespace robustify::linalg

@@ -1,0 +1,14 @@
+// Scalar helpers shared by the templated kernels.
+#pragma once
+
+namespace robustify::linalg {
+
+// Reliable readout of a scalar's stored value.  For faulty::Real this is a
+// plain bit copy (no FP op), so control logic that inspects it models the
+// paper's reliable integer core, not the faulty FPU.
+template <class T>
+inline double AsDouble(const T& x) {
+  return static_cast<double>(x);
+}
+
+}  // namespace robustify::linalg

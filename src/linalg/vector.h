@@ -1,0 +1,84 @@
+// Dense vector templated on the scalar type.
+//
+// Instantiated with `double` for clean/oracle math and with faulty::Real to
+// run "on the stochastic processor".  Element storage and moves are
+// reliable (protected memory); only arithmetic on the elements is faulty.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "linalg/scalar.h"
+
+namespace robustify::linalg {
+
+template <class T>
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n) : data_(n, T(0)) {}
+  Vector(std::size_t n, T value) : data_(n, value) {}
+  Vector(std::initializer_list<T> init) : data_(init) {}
+  explicit Vector(std::vector<T> data) : data_(std::move(data)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+ private:
+  std::vector<T> data_;
+};
+
+template <class T>
+T Dot(const Vector<T>& a, const Vector<T>& b) {
+  T acc(0);
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+template <class T>
+T NormSquared(const Vector<T>& v) {
+  return Dot(v, v);
+}
+
+template <class T>
+T Norm(const Vector<T>& v) {
+  using std::sqrt;
+  return sqrt(NormSquared(v));
+}
+
+template <class T>
+bool AllFinite(const Vector<T>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(AsDouble(v[i]))) return false;
+  }
+  return true;
+}
+
+template <class T>
+Vector<double> ToDouble(const Vector<T>& v) {
+  Vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = AsDouble(v[i]);
+  return out;
+}
+
+template <class T>
+Vector<T> Cast(const Vector<double>& v) {
+  Vector<T> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = T(v[i]);
+  return out;
+}
+
+}  // namespace robustify::linalg

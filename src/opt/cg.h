@@ -1,0 +1,90 @@
+// Restarted CGLS: conjugate gradient on the normal equations A^T A x = A^T b
+// without forming A^T A.  The periodic restart recomputes the residual from
+// scratch, which is what lets the method shed fault-induced drift in its
+// recurrences — the paper's key iterative-refinement insight for Figure 6.6.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace robustify::opt {
+
+struct CgOptions {
+  int iterations = 10;
+  int restart_every = 5;  // recompute the true residual this often
+};
+
+struct CgResult {
+  linalg::Vector<double> x;
+  int iterations = 0;
+  double residual_norm = 0.0;
+};
+
+template <class T>
+CgResult SolveCgls(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
+                   const CgOptions& options) {
+  using linalg::AsDouble;
+  const std::size_t n = a.cols();
+  linalg::Vector<T> x(n);
+  linalg::Vector<T> r = b;                 // b - A x with x = 0
+  linalg::Vector<T> s = MatTVec(a, r);     // A^T r
+  linalg::Vector<T> p = s;
+  T gamma = NormSquared(s);
+
+  int performed = 0;
+  bool need_restart = false;
+  for (int it = 0; it < options.iterations; ++it, ++performed) {
+    if (need_restart || (options.restart_every > 0 && it > 0 && it % options.restart_every == 0)) {
+      // Scrub any non-finite coordinates, then restart from the true residual.
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!std::isfinite(AsDouble(x[j]))) x[j] = T(0);
+      }
+      r = b;
+      const linalg::Vector<T> ax = MatVec(a, x);
+      for (std::size_t i = 0; i < r.size(); ++i) r[i] -= ax[i];
+      s = MatTVec(a, r);
+      p = s;
+      gamma = NormSquared(s);
+      need_restart = false;
+    }
+    if (AsDouble(gamma) == 0.0) break;  // exactly converged (reliable readout)
+
+    const linalg::Vector<T> q = MatVec(a, p);
+    const T qq = NormSquared(q);
+    const T alpha = gamma / qq;
+    if (!std::isfinite(AsDouble(alpha))) {
+      need_restart = true;
+      continue;
+    }
+    for (std::size_t j = 0; j < n; ++j) x[j] += alpha * p[j];
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] -= alpha * q[i];
+    s = MatTVec(a, r);
+    const T gamma_new = NormSquared(s);
+    const T beta = gamma_new / gamma;
+    if (!std::isfinite(AsDouble(beta))) {
+      need_restart = true;
+      continue;
+    }
+    for (std::size_t j = 0; j < n; ++j) p[j] = s[j] + beta * p[j];
+    gamma = gamma_new;
+  }
+
+  // Final scrub + true residual norm.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!std::isfinite(AsDouble(x[j]))) x[j] = T(0);
+  }
+  linalg::Vector<T> final_r = b;
+  const linalg::Vector<T> ax = MatVec(a, x);
+  for (std::size_t i = 0; i < final_r.size(); ++i) final_r[i] -= ax[i];
+
+  CgResult result;
+  result.x = ToDouble(x);
+  result.iterations = performed;
+  result.residual_norm = AsDouble(Norm(final_r));
+  return result;
+}
+
+}  // namespace robustify::opt

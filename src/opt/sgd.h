@@ -1,0 +1,248 @@
+// The robustification engine: gradient descent with the paper's
+// enhancements — step scaling (LS: 1/t, SQS: 1/sqrt(t)), adaptive scaling
+// (AS: reject steps that raise the objective and shrink the step), momentum,
+// gradient scrubbing/clipping, and phase schedules (large-step/refinement,
+// penalty annealing).
+//
+// The descent itself runs on the faulty FPU when instantiated with
+// faulty::Real; only iteration counting, step-size bookkeeping, and
+// non-finite scrubbing run on the reliable control core (plain double /
+// integer math on stored values).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "core/phases.h"
+#include "linalg/scalar.h"
+#include "linalg/vector.h"
+
+namespace robustify::opt {
+
+enum class StepScaling {
+  kNone,    // constant step
+  kLinear,  // LS: step_t = base / (1 + t / tau)
+  kSqrt,    // SQS: step_t = base / sqrt(1 + t / tau)
+};
+
+struct SgdOptions {
+  int iterations = 1000;
+  double base_step = 0.1;
+  StepScaling scaling = StepScaling::kLinear;
+  double scaling_time_constant = 0.0;  // 0 -> iterations / 10
+  bool adaptive = false;               // AS: accept/reject with step adaptation
+  int adaptive_refresh = 16;           // re-evaluate f(x) every N iterations
+  int gradient_votes = 1;              // >1: per-component median of repeated
+                                       // gradient evaluations (TMR-style)
+  double momentum_beta = 0.0;
+  double gradient_clip = 1e6;          // component clamp; 0 disables
+  double iterate_clamp = 0.0;          // reliable |x_j| bound; 0 disables
+  double average_tail = 0.0;           // >0: return the (reliable) average of
+                                       // the final fraction of iterates
+  core::PhaseSchedule phases;          // empty -> one uniform phase
+};
+
+inline double StepScale(StepScaling scaling, int t, double tau) {
+  switch (scaling) {
+    case StepScaling::kNone: return 1.0;
+    case StepScaling::kLinear: return 1.0 / (1.0 + t / tau);
+    case StepScaling::kSqrt: return 1.0 / std::sqrt(1.0 + t / tau);
+  }
+  return 1.0;
+}
+
+namespace detail {
+
+// Median-of-3 objective readout (reliable selection of faulty evaluations).
+// The spread of the votes doubles as a free noise-scale estimate: under
+// faults, accept/reject must tolerate objective changes smaller than the
+// evaluation noise or the descent freezes.
+struct VotedReadout {
+  double median = 0.0;
+  double spread = 0.0;
+};
+
+template <class T, class Objective>
+VotedReadout VotedValue(const Objective& objective, const linalg::Vector<T>& x) {
+  const double a = linalg::AsDouble(objective.Value(x));
+  const double b = linalg::AsDouble(objective.Value(x));
+  const double c = linalg::AsDouble(objective.Value(x));
+  VotedReadout out;
+  out.median = std::max(std::min(a, b), std::min(std::max(a, b), c));
+  const double hi = std::max(std::max(a, b), c);
+  const double lo = std::min(std::min(a, b), c);
+  out.spread = (std::isfinite(hi) && std::isfinite(lo)) ? hi - lo : 0.0;
+  return out;
+}
+
+}  // namespace detail
+
+// Objective concept:
+//   T Value(const linalg::Vector<T>& x) const;
+//   void Gradient(const linalg::Vector<T>& x, linalg::Vector<T>* g) const;
+//   void SetPenaltyScale(double s);   // no-op for unconstrained objectives
+template <class T, class Objective>
+linalg::Vector<T> MinimizeSgd(Objective& objective, linalg::Vector<T> x,
+                              const SgdOptions& options) {
+  using linalg::AsDouble;
+  const std::size_t n = x.size();
+  const double tau = options.scaling_time_constant > 0.0
+                         ? options.scaling_time_constant
+                         : std::max(1.0, options.iterations / 10.0);
+  core::PhaseSchedule schedule = options.phases;
+  if (schedule.empty()) schedule.push_back(core::Phase{1.0, 1.0, 1.0});
+
+  linalg::Vector<T> gradient(n);
+  linalg::Vector<T> velocity(n);
+  linalg::Vector<T> candidate(n);
+  linalg::Vector<T> vote2(options.gradient_votes >= 3 ? n : 0);
+  linalg::Vector<T> vote3(options.gradient_votes >= 3 ? n : 0);
+
+  // Polyak tail averaging: accumulated by the reliable controller, it
+  // concentrates the stationary fault-noise distribution around the optimum.
+  const int average_from =
+      options.average_tail > 0.0
+          ? options.iterations - static_cast<int>(options.average_tail * options.iterations)
+          : options.iterations + 1;
+  std::vector<double> average_sum(options.average_tail > 0.0 ? n : 0, 0.0);
+  int averaged_iterates = 0;
+
+  int t = 0;
+  for (std::size_t phase_idx = 0; phase_idx < schedule.size(); ++phase_idx) {
+    const core::Phase& phase = schedule[phase_idx];
+    objective.SetPenaltyScale(phase.penalty_scale);
+    int phase_iters = static_cast<int>(phase.fraction * options.iterations + 0.5);
+    if (phase_idx + 1 == schedule.size()) phase_iters = options.iterations - t;
+
+    // AS tracks the current objective value; re-evaluate after the penalty
+    // weight changes so accept/reject compares like with like.
+    double adapt = 1.0;
+    detail::VotedReadout fx;
+    if (options.adaptive) fx = detail::VotedValue(objective, x);
+
+    for (int i = 0; i < phase_iters; ++i, ++t) {
+      if (options.gradient_votes >= 3) {
+        // Redundant evaluation with reliable per-component median voting:
+        // a catastrophic fault must hit the same component in two of three
+        // evaluations to survive into the update.
+        objective.Gradient(x, &gradient);
+        objective.Gradient(x, &vote2);
+        objective.Gradient(x, &vote3);
+        for (std::size_t j = 0; j < n; ++j) {
+          const double a = AsDouble(gradient[j]);
+          const double b = AsDouble(vote2[j]);
+          const double c = AsDouble(vote3[j]);
+          const double median =
+              std::max(std::min(a, b), std::min(std::max(a, b), c));
+          gradient[j] = T(median);
+        }
+      } else {
+        objective.Gradient(x, &gradient);
+      }
+
+      // Scrub & clip on the reliable core: a single exponent-flipped
+      // gradient component must not catapult the whole iterate.
+      for (std::size_t j = 0; j < n; ++j) {
+        const double g = AsDouble(gradient[j]);
+        if (!std::isfinite(g)) {
+          gradient[j] = T(0);
+        } else if (options.gradient_clip > 0.0) {
+          if (g > options.gradient_clip) gradient[j] = T(options.gradient_clip);
+          if (g < -options.gradient_clip) gradient[j] = T(-options.gradient_clip);
+        }
+      }
+
+      const double step =
+          options.base_step * phase.step_scale * StepScale(options.scaling, t, tau) * adapt;
+      const T step_t(step);
+
+      double direction_bound = options.gradient_clip;
+      if (options.momentum_beta > 0.0) {
+        const T beta(options.momentum_beta);
+        if (options.gradient_clip > 0.0) {
+          direction_bound = options.gradient_clip / (1.0 - options.momentum_beta);
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          velocity[j] = beta * velocity[j] + gradient[j];
+          // The velocity recurrence is faulty too: scrub its readout.
+          const double v = AsDouble(velocity[j]);
+          if (!std::isfinite(v)) {
+            velocity[j] = T(0);
+          } else if (direction_bound > 0.0) {
+            if (v > direction_bound) velocity[j] = T(direction_bound);
+            if (v < -direction_bound) velocity[j] = T(-direction_bound);
+          }
+        }
+      }
+      const linalg::Vector<T>& direction =
+          options.momentum_beta > 0.0 ? velocity : gradient;
+
+      // Trust region enforced by the reliable controller: the update
+      // arithmetic (mul + sub per coordinate) is faulty, and a corrupted
+      // write lands directly in the iterate, bypassing the gradient clip.
+      // No legitimate update can move a coordinate further than
+      // step * |direction| <= step * direction_bound, so cap |dx| there.
+      const double move_limit =
+          direction_bound > 0.0 ? step * direction_bound : 0.0;
+
+      bool candidate_finite = true;
+      for (std::size_t j = 0; j < n; ++j) {
+        candidate[j] = x[j] - step_t * direction[j];
+        double c = AsDouble(candidate[j]);
+        const double x0 = AsDouble(x[j]);
+        if (!std::isfinite(c)) {
+          candidate[j] = x[j];  // keep the old coordinate
+          candidate_finite = false;
+          continue;
+        }
+        if (move_limit > 0.0 && std::abs(c - x0) > move_limit) {
+          c = x0 + (c > x0 ? move_limit : -move_limit);
+          candidate[j] = T(c);
+        }
+        if (options.iterate_clamp > 0.0) {
+          // Domain bound: a corrupted coordinate must not poison the
+          // penalty landscape for the rest of the run.
+          if (c > options.iterate_clamp) candidate[j] = T(options.iterate_clamp);
+          if (c < -options.iterate_clamp) candidate[j] = T(-options.iterate_clamp);
+        }
+      }
+
+      if (options.adaptive) {
+        // A corrupted Value() readout could make fx unbeatably small and
+        // freeze the descent; refresh it periodically.
+        if (options.adaptive_refresh > 0 && t % options.adaptive_refresh == 0) {
+          fx = detail::VotedValue(objective, x);
+        }
+        const detail::VotedReadout fc = detail::VotedValue(objective, candidate);
+        // Accept unless the increase is significant against the evaluation
+        // noise (the vote spreads): rejecting on sub-noise differences would
+        // freeze the descent under heavy fault rates.
+        const double tolerance = fx.spread + fc.spread;
+        if (candidate_finite && std::isfinite(fc.median) &&
+            fc.median <= fx.median + tolerance) {
+          for (std::size_t j = 0; j < n; ++j) x[j] = candidate[j];
+          fx = fc;
+          adapt = std::min(1.0, adapt * 1.15);
+        } else {
+          adapt = std::max(0.05, adapt * 0.7);
+        }
+      } else {
+        for (std::size_t j = 0; j < n; ++j) x[j] = candidate[j];
+      }
+      if (t >= average_from) {
+        for (std::size_t j = 0; j < n; ++j) average_sum[j] += AsDouble(x[j]);
+        ++averaged_iterates;
+      }
+    }
+  }
+  objective.SetPenaltyScale(1.0);
+  if (averaged_iterates > 0) {
+    for (std::size_t j = 0; j < n; ++j) {
+      x[j] = T(average_sum[j] / averaged_iterates);
+    }
+  }
+  return x;
+}
+
+}  // namespace robustify::opt

@@ -1,0 +1,36 @@
+#include "signal/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace robustify::signal {
+
+namespace {
+
+double RelativeNormError(const linalg::Vector<double>& x,
+                         const linalg::Vector<double>& reference) {
+  if (x.size() != reference.size()) return std::numeric_limits<double>::infinity();
+  double diff2 = 0.0;
+  double ref2 = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!std::isfinite(x[i])) return std::numeric_limits<double>::infinity();
+    const double d = x[i] - reference[i];
+    diff2 += d * d;
+    ref2 += reference[i] * reference[i];
+  }
+  return std::sqrt(diff2) / std::max(std::sqrt(ref2), 1e-300);
+}
+
+}  // namespace
+
+double RelativeError(const linalg::Vector<double>& x,
+                     const linalg::Vector<double>& reference) {
+  return RelativeNormError(x, reference);
+}
+
+double ErrorToSignalRatio(const linalg::Vector<double>& y,
+                          const linalg::Vector<double>& clean) {
+  return RelativeNormError(y, clean);
+}
+
+}  // namespace robustify::signal

@@ -1,0 +1,17 @@
+// Quality metrics used by the figure benches (clean double math — metrics
+// are computed by the experiment harness, not on the faulty FPU).
+#pragma once
+
+#include "linalg/vector.h"
+
+namespace robustify::signal {
+
+// ||x - reference|| / ||reference||; +inf if x has non-finite entries.
+double RelativeError(const linalg::Vector<double>& x,
+                     const linalg::Vector<double>& reference);
+
+// ||y - clean|| / ||clean|| — the paper's error-to-signal ratio.
+double ErrorToSignalRatio(const linalg::Vector<double>& y,
+                          const linalg::Vector<double>& clean);
+
+}  // namespace robustify::signal

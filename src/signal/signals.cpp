@@ -1,0 +1,59 @@
+#include "signal/signals.h"
+
+#include <cmath>
+#include <random>
+
+namespace robustify::signal {
+
+IirCoefficients MakeStableIir(int nb, int na, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> radius(0.30, 0.70);
+  std::uniform_real_distribution<double> angle(0.4, 2.6);
+  std::uniform_real_distribution<double> tap(-0.5, 0.5);
+
+  // Denominator: expand conjugate pole pairs (1 - 2 r cos(th) z^-1 + r^2 z^-2)
+  // and, if na is odd, one real pole (1 - p z^-1).  poly holds a_0..a_na.
+  std::vector<double> poly{1.0};
+  auto multiply = [&poly](const std::vector<double>& factor) {
+    std::vector<double> out(poly.size() + factor.size() - 1, 0.0);
+    for (std::size_t i = 0; i < poly.size(); ++i) {
+      for (std::size_t j = 0; j < factor.size(); ++j) out[i + j] += poly[i] * factor[j];
+    }
+    poly = out;
+  };
+  int remaining = na;
+  while (remaining >= 2) {
+    const double r = radius(rng);
+    const double th = angle(rng);
+    multiply({1.0, -2.0 * r * std::cos(th), r * r});
+    remaining -= 2;
+  }
+  if (remaining == 1) {
+    const double p = radius(rng) * 0.8;
+    multiply({1.0, -p});
+  }
+
+  IirCoefficients c;
+  c.a.assign(poly.begin() + 1, poly.end());  // a_1..a_na
+  c.b.resize(static_cast<std::size_t>(nb));
+  for (double& bk : c.b) bk = tap(rng);
+  if (!c.b.empty()) c.b[0] = 1.0;  // keep unit direct gain
+  return c;
+}
+
+linalg::Vector<double> SineMix(std::size_t n, const std::vector<double>& freqs,
+                               const std::vector<double>& amps) {
+  linalg::Vector<double> x(n);
+  constexpr double kTwoPi = 6.283185307179586;
+  for (std::size_t t = 0; t < n; ++t) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < freqs.size(); ++k) {
+      const double amp = k < amps.size() ? amps[k] : 1.0;
+      acc += amp * std::sin(kTwoPi * freqs[k] * static_cast<double>(t) / static_cast<double>(n));
+    }
+    x[t] = acc;
+  }
+  return x;
+}
+
+}  // namespace robustify::signal

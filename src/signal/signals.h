@@ -1,0 +1,28 @@
+// Signal-processing primitives: IIR coefficient generation and test inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace robustify::signal {
+
+// Direct-form-I IIR filter:
+//   y[t] = sum_k b[k] u[t-k]  -  sum_{k>=1} a[k] y[t-k]
+// b has `nb` feed-forward taps (b[0..nb-1]); a has `na` feedback taps stored
+// as a[0..na-1] meaning a_1..a_na (a_0 = 1 implied).
+struct IirCoefficients {
+  std::vector<double> b;
+  std::vector<double> a;
+};
+
+// A deterministic stable filter: poles sampled inside the unit disk (radius
+// <= 0.7) and expanded into real feedback coefficients.
+IirCoefficients MakeStableIir(int nb, int na, std::uint64_t seed);
+
+// sum_k amps[k] * sin(2 pi freqs[k] t / n), t = 0..n-1.
+linalg::Vector<double> SineMix(std::size_t n, const std::vector<double>& freqs,
+                               const std::vector<double>& amps);
+
+}  // namespace robustify::signal

@@ -1,0 +1,75 @@
+// IIR, eigen, and SVM kernels on a clean FPU.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "apps/configs.h"
+#include "apps/eigen_app.h"
+#include "apps/iir_app.h"
+#include "apps/svm_app.h"
+#include "core/fault_env.h"
+#include "core/variants.h"
+#include "linalg/random.h"
+#include "signal/metrics.h"
+#include "signal/signals.h"
+
+namespace {
+
+using namespace robustify;
+
+TEST(Iir, StableFilterProducesBoundedOutput) {
+  const signal::IirCoefficients coeffs = signal::MakeStableIir(5, 5, 63);
+  EXPECT_EQ(coeffs.b.size(), 5u);
+  EXPECT_EQ(coeffs.a.size(), 5u);
+  const auto input = signal::SineMix(500, {3.0, 17.0}, {1.0, 0.5});
+  const auto y = apps::BaselineIir<double>(coeffs, input);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    ASSERT_TRUE(std::isfinite(y[t]));
+    ASSERT_LT(std::abs(y[t]), 100.0);
+  }
+}
+
+TEST(RateZero, RobustIirMatchesRecursion) {
+  const signal::IirCoefficients coeffs = signal::MakeStableIir(5, 5, 63);
+  const auto input = signal::SineMix(200, {3.0}, {1.0});
+  const auto clean = apps::BaselineIir<double>(coeffs, input);
+  core::FaultEnvironment env;
+  const auto y = core::WithFaultyFpu(
+      env, [&] { return apps::RobustIir<faulty::Real>(coeffs, input, apps::IirSgdLs()); });
+  EXPECT_LT(signal::ErrorToSignalRatio(y, clean), 1e-6);
+}
+
+TEST(Eigen, JacobiAndRayleighAgreeOnCleanFpu) {
+  std::mt19937_64 rng(72);
+  const auto a = linalg::RandomSymmetricMatrix(8, rng);
+  const auto oracle = apps::JacobiEigenSym(a);
+  ASSERT_EQ(oracle.size(), 8u);
+  for (std::size_t k = 0; k + 1 < oracle.size(); ++k) {
+    EXPECT_GE(oracle[k].value, oracle[k + 1].value);  // sorted descending
+  }
+  core::FaultEnvironment env;
+  apps::RayleighOptions options;
+  options.iterations = 400;
+  const auto pairs = core::WithFaultyFpu(
+      env, [&] { return apps::TopEigenpairsRayleigh<faulty::Real>(a, 3, options); });
+  ASSERT_EQ(pairs.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(pairs[k].value, oracle[k].value,
+                0.02 * std::max(1.0, std::abs(oracle[k].value)))
+        << "pair " << k;
+  }
+}
+
+TEST(Svm, SeparableBlobsReachHighTrainAccuracy) {
+  const apps::SvmDataset data = apps::MakeBlobsDataset(40, 6, 4.0, 11);
+  EXPECT_EQ(data.x.rows(), 80u);
+  core::FaultEnvironment env;
+  const apps::SvmResult r = core::WithFaultyFpu(env, [&] {
+    return apps::TrainSvm<faulty::Real>(
+        data, 0.01, core::MakeSgd(300, 1.0, opt::StepScaling::kSqrt));
+  });
+  EXPECT_GE(r.train_accuracy, 0.95);
+}
+
+}  // namespace

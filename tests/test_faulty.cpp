@@ -1,0 +1,208 @@
+// Tests for the faulty subsystem: LFSR determinism, bit-distribution region
+// masses, injector fault-rate accuracy, and scope save/restore.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/fault_env.h"
+#include "faulty/bit_distribution.h"
+#include "faulty/fault_injector.h"
+#include "faulty/lfsr.h"
+#include "faulty/real.h"
+
+namespace {
+
+using robustify::faulty::BitDistribution;
+using robustify::faulty::BitModel;
+using robustify::faulty::ContextStats;
+using robustify::faulty::FaultInjector;
+using robustify::faulty::kWordBits;
+using robustify::faulty::Lfsr;
+using robustify::faulty::Real;
+
+TEST(Lfsr, DeterministicSequence) {
+  Lfsr a(42);
+  Lfsr b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Lfsr, DifferentSeedsDiverge) {
+  Lfsr a(42);
+  Lfsr b(43);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 32);
+}
+
+TEST(Lfsr, ZeroSeedIsRemapped) {
+  Lfsr z(0);
+  EXPECT_NE(z.state(), 0u);
+  EXPECT_NE(z.next(), 0u);
+}
+
+TEST(Lfsr, UniformInUnitInterval) {
+  Lfsr rng(7);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+double RegionMass(const BitDistribution& dist, int lo, int hi) {
+  double m = 0.0;
+  for (int b = lo; b <= hi; ++b) m += dist.probability(b);
+  return m;
+}
+
+TEST(BitDistribution, BimodalRegionMasses) {
+  const BitDistribution dist(BitModel::kBimodal);
+  double total = 0.0;
+  for (int b = 0; b < kWordBits; ++b) total += dist.probability(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Bimodal: heavy low and high-mantissa modes, a valley in the middle.
+  EXPECT_GT(RegionMass(dist, 0, 11), 0.30);
+  EXPECT_GT(RegionMass(dist, 40, 51), 0.30);
+  EXPECT_LT(RegionMass(dist, 12, 39), 0.10);
+  // Exponent+sign corruption possible but rare.
+  const double high = RegionMass(dist, 52, 63);
+  EXPECT_GT(high, 0.0);
+  EXPECT_LT(high, 0.10);
+}
+
+TEST(BitDistribution, LsbOnlyAndMsbOnly) {
+  const BitDistribution lsb(BitModel::kLsbOnly);
+  EXPECT_NEAR(RegionMass(lsb, 0, 11), 1.0, 1e-12);
+  const BitDistribution msb(BitModel::kMsbOnly);
+  EXPECT_NEAR(RegionMass(msb, 52, 63), 1.0, 1e-12);
+}
+
+TEST(BitDistribution, SampleMatchesProbabilities) {
+  const BitDistribution dist(BitModel::kBimodal);
+  Lfsr rng(123);
+  std::array<double, kWordBits> histogram{};
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const int b = dist.sample(rng);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, kWordBits);
+    histogram[static_cast<std::size_t>(b)] += 1.0 / kSamples;
+  }
+  for (int b = 0; b < kWordBits; ++b) {
+    EXPECT_NEAR(histogram[static_cast<std::size_t>(b)], dist.probability(b), 0.01);
+  }
+}
+
+TEST(FaultInjector, RateZeroCountsButNeverCorrupts) {
+  FaultInjector injector(0.0, BitDistribution(BitModel::kBimodal), 5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(injector.Execute(1.25), 1.25);
+  }
+  EXPECT_EQ(injector.stats().faulty_flops, 10000u);
+  EXPECT_EQ(injector.stats().faults_injected, 0u);
+}
+
+TEST(FaultInjector, FaultRateWithinStatisticalTolerance) {
+  constexpr double kRate = 0.1;
+  constexpr int kOps = 1000000;
+  FaultInjector injector(kRate, BitDistribution(BitModel::kBimodal), 99);
+  for (int i = 0; i < kOps; ++i) injector.Execute(3.0);
+  const double observed =
+      static_cast<double>(injector.stats().faults_injected) / kOps;
+  EXPECT_NEAR(observed, kRate, 0.003);  // ~10 sigma
+}
+
+TEST(FaultInjector, CorruptionFlipsExactlyOneBit) {
+  FaultInjector injector(1.0, BitDistribution(BitModel::kBimodal), 17);
+  for (int i = 0; i < 1000; ++i) {
+    const double clean = 1.0 + i * 0.125;
+    const double corrupted = injector.Execute(clean);
+    std::uint64_t a, b;
+    std::memcpy(&a, &clean, sizeof(a));
+    std::memcpy(&b, &corrupted, sizeof(b));
+    EXPECT_EQ(__builtin_popcountll(a ^ b), 1);
+  }
+}
+
+TEST(WithFaultyFpu, RestoresCleanStateOnExit) {
+  using robustify::core::FaultEnvironment;
+  using robustify::core::WithFaultyFpu;
+  EXPECT_FALSE(robustify::faulty::InjectorActive());
+  FaultEnvironment env;
+  env.fault_rate = 0.5;
+  env.seed = 11;
+  ContextStats stats;
+  const double result = WithFaultyFpu(
+      env,
+      [] {
+        EXPECT_TRUE(robustify::faulty::InjectorActive());
+        Real a(1.5), b(2.5);
+        return (a + b).value();
+      },
+      &stats);
+  (void)result;
+  EXPECT_FALSE(robustify::faulty::InjectorActive());
+  EXPECT_EQ(stats.faulty_flops, 1u);
+  // Outside the scope Real arithmetic is clean and uncounted.
+  Real a(1.5), b(2.5);
+  EXPECT_EQ((a + b).value(), 4.0);
+}
+
+TEST(WithFaultyFpu, RestoresOnException) {
+  using robustify::core::FaultEnvironment;
+  using robustify::core::WithFaultyFpu;
+  FaultEnvironment env;
+  env.fault_rate = 0.5;
+  try {
+    WithFaultyFpu(env, []() -> int { throw std::runtime_error("boom"); });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_FALSE(robustify::faulty::InjectorActive());
+}
+
+TEST(WithFaultyFpu, RateZeroArithmeticIsExact) {
+  using robustify::core::FaultEnvironment;
+  using robustify::core::WithFaultyFpu;
+  FaultEnvironment env;  // rate 0
+  ContextStats stats;
+  const double result = WithFaultyFpu(
+      env,
+      [] {
+        Real acc(0);
+        for (int i = 1; i <= 100; ++i) acc += Real(i);
+        return acc.value();
+      },
+      &stats);
+  EXPECT_EQ(result, 5050.0);
+  EXPECT_EQ(stats.faulty_flops, 100u);
+  EXPECT_EQ(stats.faults_injected, 0u);
+}
+
+TEST(FaultyReal, ComparisonsCostAFlop) {
+  using robustify::core::FaultEnvironment;
+  using robustify::core::WithFaultyFpu;
+  FaultEnvironment env;
+  ContextStats stats;
+  WithFaultyFpu(
+      env,
+      [] {
+        Real a(1.0), b(2.0);
+        return a < b;
+      },
+      &stats);
+  EXPECT_EQ(stats.faulty_flops, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Graph generators, oracles, and the templated combinatorial baselines on a
+// clean FPU.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/apsp_app.h"
+#include "apps/configs.h"
+#include "apps/maxflow_app.h"
+#include "core/fault_env.h"
+#include "graph/generators.h"
+#include "graph/maxflow.h"
+#include "graph/shortest_paths.h"
+
+namespace {
+
+using namespace robustify;
+
+TEST(Generators, BipartiteIsCompleteWhenRequested) {
+  const graph::BipartiteGraph g = graph::RandomBipartite(5, 6, 30, 3);
+  EXPECT_EQ(g.left, 5);
+  EXPECT_EQ(g.right, 6);
+  EXPECT_EQ(g.edges.size(), 30u);
+}
+
+TEST(Generators, DigraphIsStronglyConnected) {
+  const graph::Digraph g = graph::RandomDigraph(5, 6, 15);
+  EXPECT_EQ(g.edges.size(), 6u);
+  const auto dist = graph::AllPairsDijkstra(g);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_LT(dist(i, j), graph::kUnreachable) << i << "->" << j;
+    }
+  }
+}
+
+TEST(MaxFlow, EdmondsKarpMatchesPushRelabelOnCleanFpu) {
+  for (std::uint64_t seed : {12u, 13u, 14u}) {
+    const graph::FlowNetwork net = graph::RandomFlowNetwork(6, 6, seed);
+    const double exact = graph::PushRelabelMaxFlow(net);
+    EXPECT_GT(exact, 0.0);
+    const graph::MaxFlowResult ek = graph::EdmondsKarpMaxFlow<double>(net);
+    EXPECT_NEAR(ek.value, exact, 1e-9 * std::max(1.0, exact)) << "seed " << seed;
+  }
+}
+
+TEST(ShortestPaths, FloydWarshallMatchesDijkstraOnCleanFpu) {
+  const graph::Digraph g = graph::RandomDigraph(5, 6, 15);
+  const auto fw = graph::FloydWarshall<double>(g);
+  const auto dj = graph::AllPairsDijkstra(g);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(fw(i, j), dj(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(RateZero, RobustMaxFlowWithinTolerance) {
+  const graph::FlowNetwork net = graph::RandomFlowNetwork(6, 6, 12);
+  const double exact = graph::PushRelabelMaxFlow(net);
+  core::FaultEnvironment env;
+  const apps::FlowResult r = core::WithFaultyFpu(env, [&] {
+    return apps::RobustMaxFlow<faulty::Real>(net, apps::MaxFlowConfig());
+  });
+  EXPECT_TRUE(r.valid);
+  EXPECT_LT(std::abs(r.value - exact) / exact, 0.05);
+}
+
+TEST(RateZero, RobustApspWithinTolerance) {
+  const graph::Digraph g = graph::RandomDigraph(5, 6, 15);
+  const auto exact = graph::AllPairsDijkstra(g);
+  core::FaultEnvironment env;
+  const apps::ApspResult r = core::WithFaultyFpu(
+      env, [&] { return apps::RobustApsp<faulty::Real>(g, apps::ApspConfig()); });
+  EXPECT_TRUE(r.valid);
+  EXPECT_LT(apps::MaxAbsDistanceError(r.distances, exact), 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Harness: trials, sweeps, table extraction, CSV writing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/csv.h"
+#include "harness/sweep.h"
+#include "harness/table.h"
+#include "harness/trial.h"
+
+namespace {
+
+using namespace robustify;
+
+harness::TrialFn FailAboveRate(double cutoff) {
+  return [cutoff](const core::FaultEnvironment& env) {
+    harness::TrialOutcome out;
+    out.success = env.fault_rate <= cutoff;
+    out.metric = env.fault_rate;
+    return out;
+  };
+}
+
+TEST(RunTrials, CountsSuccessesAndVariesSeeds) {
+  std::vector<std::uint64_t> seeds;
+  const harness::TrialFn fn = [&seeds](const core::FaultEnvironment& env) {
+    seeds.push_back(env.seed);
+    harness::TrialOutcome out;
+    out.success = env.seed % 2 == 0;
+    out.metric = static_cast<double>(env.seed);
+    return out;
+  };
+  core::FaultEnvironment env;
+  env.seed = 10;
+  const harness::TrialSummary s = harness::RunTrials(fn, env, 4);
+  EXPECT_EQ(s.trials, 4);
+  EXPECT_EQ(s.successes, 2);
+  EXPECT_DOUBLE_EQ(s.success_rate_pct, 50.0);
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{10, 11, 12, 13}));
+}
+
+TEST(RunTrials, NonFiniteMetricsCountAsInfinityInMedian) {
+  int call = 0;
+  const harness::TrialFn fn = [&call](const core::FaultEnvironment&) {
+    harness::TrialOutcome out;
+    out.metric = (call++ % 2 == 0) ? std::nan("") : 1.0;
+    return out;
+  };
+  core::FaultEnvironment env;
+  const harness::TrialSummary s = harness::RunTrials(fn, env, 4);
+  EXPECT_TRUE(std::isinf(s.median_metric));  // upper median of {1, 1, inf, inf}
+  EXPECT_DOUBLE_EQ(s.mean_metric, 1.0);      // mean over finite metrics
+}
+
+TEST(Sweep, RunsEverySeriesAtEveryRate) {
+  harness::SweepConfig config;
+  config.fault_rates = {0.0, 0.1, 0.2};
+  config.trials = 3;
+  config.base_seed = 1;
+  const auto series = harness::RunFaultRateSweep(
+      config, {{"lenient", FailAboveRate(0.15)}, {"strict", FailAboveRate(0.05)}});
+  ASSERT_EQ(series.size(), 2u);
+  ASSERT_EQ(series[0].points.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].points[1].summary.success_rate_pct, 100.0);
+  EXPECT_DOUBLE_EQ(series[1].points[1].summary.success_rate_pct, 0.0);
+}
+
+TEST(Table, PrintsOneRowPerRateAndOneColumnPerSeries) {
+  harness::SweepConfig config;
+  config.fault_rates = {0.0, 0.5};
+  config.trials = 2;
+  const auto series =
+      harness::RunFaultRateSweep(config, {{"SGD+AS,LS", FailAboveRate(0.25)}});
+  std::ostringstream os;
+  harness::PrintSweepTable(os, "title", series, harness::TableValue::kSuccessRatePct,
+                           "success (%)");
+  const std::string text = os.str();
+  EXPECT_NE(text.find("SGD+AS,LS"), std::string::npos);
+  EXPECT_NE(text.find("fault_rate"), std::string::npos);
+  EXPECT_NE(text.find("100.0"), std::string::npos);
+  EXPECT_NE(text.find("0.5"), std::string::npos);
+}
+
+TEST(Csv, WritesQuotedHeadersAndThrowsOnBadPath) {
+  harness::SweepConfig config;
+  config.fault_rates = {0.0};
+  config.trials = 1;
+  const auto series =
+      harness::RunFaultRateSweep(config, {{"SGD+AS,LS", FailAboveRate(1.0)}});
+  const std::string path = ::testing::TempDir() + "/robustify_test_sweep.csv";
+  harness::WriteSweepCsv(path, series);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("\"SGD+AS,LS success_pct\""), std::string::npos);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(harness::WriteSweepCsv("/nonexistent_dir_zzz/x.csv", series),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Linear algebra: vectors, matrices, and the direct least-squares solvers.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "apps/least_squares.h"
+#include "linalg/lsq.h"
+#include "linalg/matrix.h"
+#include "linalg/random.h"
+#include "linalg/vector.h"
+#include "signal/metrics.h"
+
+namespace {
+
+using robustify::apps::LsqProblem;
+using robustify::apps::MakeRandomLsqProblem;
+namespace linalg = robustify::linalg;
+
+TEST(Vector, BasicOpsAndDot) {
+  linalg::Vector<double> a{1.0, 2.0, 3.0};
+  linalg::Vector<double> b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(NormSquared(a), 14.0);
+  EXPECT_TRUE(AllFinite(a));
+  a[0] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(AllFinite(a));
+}
+
+TEST(Matrix, MatVecAndTranspose) {
+  linalg::Matrix<double> m(2, 3);
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  const linalg::Vector<double> x{1.0, 1.0, 1.0};
+  const auto y = MatVec(m, x);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  const linalg::Vector<double> z{1.0, 1.0};
+  const auto w = MatTVec(m, z);
+  EXPECT_DOUBLE_EQ(w[0], 5.0);
+  EXPECT_DOUBLE_EQ(w[2], 9.0);
+}
+
+class DirectSolvers : public ::testing::TestWithParam<linalg::LsqBaseline> {};
+
+TEST_P(DirectSolvers, RecoversExactSolutionOnCleanFpu) {
+  const LsqProblem p = MakeRandomLsqProblem(60, 8, 17);
+  const auto x = SolveLsqDirect(p.a, p.b, GetParam());
+  EXPECT_LT(robustify::signal::RelativeError(x, p.exact), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, DirectSolvers,
+                         ::testing::Values(linalg::LsqBaseline::kQr,
+                                           linalg::LsqBaseline::kSvd,
+                                           linalg::LsqBaseline::kCholesky));
+
+TEST(RandomGenerators, SymmetricMatrixIsSymmetric) {
+  std::mt19937_64 rng(5);
+  const auto a = linalg::RandomSymmetricMatrix(6, rng);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(a(i, j), a(j, i));
+    }
+  }
+}
+
+TEST(Metrics, RelativeErrorHandlesNonFinite) {
+  linalg::Vector<double> ref{1.0, 2.0};
+  linalg::Vector<double> bad{std::nan(""), 2.0};
+  EXPECT_TRUE(std::isinf(robustify::signal::RelativeError(bad, ref)));
+  EXPECT_NEAR(robustify::signal::RelativeError(ref, ref), 0.0, 1e-15);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Optimization correctness at fault rate 0: the robustified solvers must
+// agree with the exact answers when the FPU is clean.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "apps/configs.h"
+#include "apps/least_squares.h"
+#include "apps/matching_app.h"
+#include "apps/sort_app.h"
+#include "core/fault_env.h"
+#include "graph/generators.h"
+#include "signal/metrics.h"
+
+namespace {
+
+using namespace robustify;
+
+TEST(RateZero, SgdLeastSquaresConvergesToExactSolution) {
+  const apps::LsqProblem p = apps::MakeRandomLsqProblem(100, 10, 7);
+  core::FaultEnvironment env;  // rate 0
+  const auto x = core::WithFaultyFpu(
+      env, [&] { return apps::SolveLsqSgd<faulty::Real>(p, apps::LsqSgdLs()); });
+  EXPECT_LT(signal::RelativeError(x, p.exact), 1e-8);
+}
+
+TEST(RateZero, AdaptiveSgdAlsoConverges) {
+  const apps::LsqProblem p = apps::MakeRandomLsqProblem(100, 10, 8);
+  core::FaultEnvironment env;
+  const auto x = core::WithFaultyFpu(
+      env, [&] { return apps::SolveLsqSgd<faulty::Real>(p, apps::LsqSgdAsLs()); });
+  EXPECT_LT(signal::RelativeError(x, p.exact), 1e-8);
+}
+
+TEST(RateZero, CgLeastSquaresConvergesToExactSolution) {
+  const apps::LsqProblem p = apps::MakeRandomLsqProblem(100, 10, 9);
+  core::FaultEnvironment env;
+  const opt::CgResult r = core::WithFaultyFpu(
+      env, [&] { return apps::SolveLsqCg<faulty::Real>(p, apps::LsqCg(40)); });
+  EXPECT_LT(signal::RelativeError(r.x, p.exact), 1e-8);
+  EXPECT_EQ(r.iterations, 40);
+}
+
+TEST(RateZero, RobustSortSortsRandomArrays) {
+  core::FaultEnvironment env;
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> input(5);
+    for (double& v : input) v = dist(rng);
+    const apps::RobustSortResult r = core::WithFaultyFpu(env, [&] {
+      return apps::RobustSort<faulty::Real>(input, apps::SortSgdAsSqs());
+    });
+    EXPECT_TRUE(r.valid);
+    EXPECT_TRUE(apps::IsSortedCopyOf(r.output, input)) << "trial " << trial;
+  }
+}
+
+TEST(RateZero, BaselineSortIsExact) {
+  core::FaultEnvironment env;
+  const std::vector<double> input{0.9, 0.1, 0.6, 0.3, 0.7};
+  const auto sorted = core::WithFaultyFpu(
+      env, [&] { return apps::BaselineSort<faulty::Real>(input); });
+  EXPECT_TRUE(apps::IsSortedCopyOf(sorted, input));
+}
+
+TEST(RateZero, RobustMatchingMatchesHungarianOptimum) {
+  const graph::BipartiteGraph g = graph::RandomBipartite(5, 6, 30, 3);
+  core::FaultEnvironment env;
+  const apps::MatchingResult r = core::WithFaultyFpu(env, [&] {
+    return apps::RobustMatching<faulty::Real>(g, apps::MatchingSgdAsLs());
+  });
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(apps::MatchesOptimal(g, r.matching));
+}
+
+TEST(RateZero, BaselineHungarianIsOptimal) {
+  const graph::BipartiteGraph g = graph::RandomBipartite(5, 6, 30, 11);
+  core::FaultEnvironment env;
+  const graph::Matching m = core::WithFaultyFpu(
+      env, [&] { return apps::BaselineMatching<faulty::Real>(g); });
+  EXPECT_TRUE(apps::MatchesOptimal(g, m));
+}
+
+TEST(SortApp, IsSortedCopyOfRejectsWrongMultisets) {
+  EXPECT_TRUE(apps::IsSortedCopyOf({1.0, 2.0, 3.0}, {3.0, 1.0, 2.0}));
+  EXPECT_FALSE(apps::IsSortedCopyOf({1.0, 3.0, 2.0}, {3.0, 1.0, 2.0}));  // unsorted
+  EXPECT_FALSE(apps::IsSortedCopyOf({1.0, 2.0, 2.0}, {3.0, 1.0, 2.0}));  // wrong values
+}
+
+}  // namespace

@@ -1,0 +1,50 @@
+// Voltage/error-rate curve and energy model.
+#include <gtest/gtest.h>
+
+#include "faulty/energy.h"
+#include "faulty/voltage_model.h"
+
+namespace {
+
+using robustify::faulty::EnergyModel;
+using robustify::faulty::VoltageModel;
+
+TEST(VoltageModel, MonotoneDecreasingInVoltage) {
+  const VoltageModel model;
+  double prev = model.error_rate(0.60);
+  for (double v = 0.625; v <= 1.0001; v += 0.025) {
+    const double rate = model.error_rate(v);
+    EXPECT_LT(rate, prev) << "at voltage " << v;
+    prev = rate;
+  }
+}
+
+TEST(VoltageModel, NominalIsNearZeroAndFloorIsLarge) {
+  const VoltageModel model;
+  EXPECT_LE(model.error_rate(1.0), 1e-12);
+  EXPECT_GE(model.error_rate(0.60), 0.1);
+  // Knee: orders of magnitude between 0.9 V and 0.7 V.
+  EXPECT_GE(model.error_rate(0.70) / model.error_rate(0.90), 1e5);
+}
+
+TEST(VoltageModel, InverseLookupRoundTrips) {
+  const VoltageModel model;
+  for (const double rate : {1e-9, 1e-7, 1e-5, 1e-3, 1e-2}) {
+    const double v = model.voltage_for_error_rate(rate);
+    EXPECT_GE(v, model.min_voltage());
+    EXPECT_LE(v, model.nominal_voltage());
+    // The rate at the returned voltage must not exceed the tolerated rate
+    // by more than interpolation slack.
+    EXPECT_LE(model.error_rate(v), rate * 1.5);
+  }
+}
+
+TEST(EnergyModel, PowerScalesQuadratically) {
+  const EnergyModel model;
+  EXPECT_DOUBLE_EQ(model.relative_power(1.0), 1.0);
+  EXPECT_NEAR(model.relative_power(0.5), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(model.energy(1000, 1.0), 1000.0);
+  EXPECT_NEAR(model.energy(1000, 0.8), 640.0, 1e-9);
+}
+
+}  // namespace
