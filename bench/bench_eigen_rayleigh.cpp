@@ -17,7 +17,8 @@ using namespace robustify;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("eigen_rayleigh", argc, argv);
   bench::Banner(
       "Eigenpairs via Rayleigh quotient ascent (Section 4.7)",
       "Section 4.7 ('Other numerical problems'); no paper figure",
@@ -49,8 +50,9 @@ int main() {
     };
   };
 
-  const auto series = harness::RunFaultRateSweep(
-      sweep, {
+  const auto series = ctx.RunSweep(
+      "rayleigh", sweep,
+      {
                  {"lambda_1", variant(0)},
                  {"lambda_2", variant(1)},
                  {"lambda_3", variant(2)},
@@ -58,5 +60,5 @@ int main() {
   bench::EmitSweep("Rayleigh eigenpairs: median relative eigenvalue error", series,
                    harness::TableValue::kMedianMetric, "median |l - l*| / |l*|",
                    "eigen_rayleigh.csv");
-  return 0;
+  return ctx.Finish();
 }

@@ -31,7 +31,8 @@ const char* ModelName(faulty::BitModel model) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("fault_model_ablation", argc, argv);
   bench::Banner(
       "Fault-model ablation (Chapter 7 future work)",
       "Chapter 7 (text): different fault models",
@@ -40,12 +41,14 @@ int main() {
       "uniform models, which include frequent exponent corruption");
 
   constexpr double kRate = 0.05;
-  constexpr int kTrials = 10;
+  const int trials = ctx.TrialsOr(10);
+  const int threads = ctx.options().threads;
   const std::vector<double> input{0.9, 0.1, 0.6, 0.3, 0.7};
   const apps::LsqProblem problem = apps::MakeRandomLsqProblem(100, 10, 12);
 
+  harness::WallTimer table_timer;
   std::printf("fault rate: %.0f%% of FLOPs, %d trials per cell\n\n", 100 * kRate,
-              kTrials);
+              trials);
   std::printf("%-12s %-22s %-26s\n", "bit model", "sort success (%)",
               "lsq median rel. error (SGD+AS,LS)");
   std::printf("--------------------------------------------------------------\n");
@@ -66,7 +69,8 @@ int main() {
       out.success = r.valid && apps::IsSortedCopyOf(r.output, input);
       return out;
     };
-    const harness::TrialSummary sort_summary = harness::RunTrials(sort_fn, env, kTrials);
+    const harness::TrialSummary sort_summary =
+        harness::RunTrials(sort_fn, env, trials, threads);
 
     const harness::TrialFn lsq_fn = [&problem](const core::FaultEnvironment& e) {
       harness::TrialOutcome out;
@@ -77,10 +81,12 @@ int main() {
       out.success = out.metric < 1e-2;
       return out;
     };
-    const harness::TrialSummary lsq_summary = harness::RunTrials(lsq_fn, env, kTrials);
+    const harness::TrialSummary lsq_summary =
+        harness::RunTrials(lsq_fn, env, trials, threads);
 
     std::printf("%-12s %-22.1f %-26.3e\n", ModelName(model),
                 sort_summary.success_rate_pct, lsq_summary.median_metric);
   }
-  return 0;
+  ctx.RecordSection("ablation-table", table_timer.Seconds(), 0.0);
+  return ctx.Finish();
 }

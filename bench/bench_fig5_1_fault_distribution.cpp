@@ -38,7 +38,8 @@ std::array<double, kWordBits> MeasuredHistogram() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  robustify::bench::BenchContext ctx("fig5_1_fault_distribution", argc, argv);
   robustify::bench::Banner(
       "Figure 5.1 - fault bit-position distribution",
       "Chapter 5, Figure 5.1 (measured vs emulated bit-error distribution)",
@@ -53,9 +54,13 @@ int main() {
   constexpr int kFaults = 1000000;
   Lfsr rng(2024);
   std::array<double, kWordBits> sampled{};
+  robustify::harness::WallTimer sample_timer;
   for (int i = 0; i < kFaults; ++i) {
     sampled[static_cast<std::size_t>(emulated.sample(rng))] += 1.0 / kFaults;
   }
+  // Records alias-sampler throughput (draws through the bit sampler, not FP
+  // ops — this bench exercises the injector's corruption path in isolation).
+  ctx.RecordSection("bit-sampling-1M", sample_timer.Seconds(), kFaults);
 
   std::printf("%-5s %-12s %-12s %-12s\n", "bit", "measured", "emulated", "sampled");
   std::printf("------------------------------------------------\n");
@@ -84,5 +89,5 @@ int main() {
               region_mass(mw, 12, 39), region_mass(ew, 12, 39), region_mass(sampled, 12, 39));
   std::printf("%-24s %-10.4f %-10.4f %-10.4f\n", "high bits [40,63]",
               region_mass(mw, 40, 63), region_mass(ew, 40, 63), region_mass(sampled, 40, 63));
-  return 0;
+  return ctx.Finish();
 }

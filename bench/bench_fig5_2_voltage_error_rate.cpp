@@ -8,7 +8,8 @@
 #include "bench/bench_common.h"
 #include "faulty/voltage_model.h"
 
-int main() {
+int main(int argc, char** argv) {
+  robustify::bench::BenchContext ctx("fig5_2_voltage_error_rate", argc, argv);
   robustify::bench::Banner(
       "Figure 5.2 - FPU error rate vs supply voltage",
       "Chapter 5, Figure 5.2 (circuit-level voltage/error-rate curve)",
@@ -28,5 +29,5 @@ int main() {
   for (const double rate : {1e-9, 1e-7, 1e-5, 1e-3, 1e-2, 1e-1}) {
     std::printf("%-18.1e %-12.4f\n", rate, model.voltage_for_error_rate(rate));
   }
-  return 0;
+  return ctx.Finish();
 }

@@ -36,7 +36,8 @@ harness::TrialFn SortVariant(const apps::LpSolveConfig& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("fig6_1_sort", argc, argv);
   bench::Banner(
       "Figure 6.1 - Accuracy of Sort (10000 iterations)",
       "Section 6.1, Figure 6.1",
@@ -59,8 +60,9 @@ int main() {
     return out;
   };
 
-  const auto series = harness::RunFaultRateSweep(
-      sweep, {
+  const auto series = ctx.RunSweep(
+      "sort", sweep,
+      {
                  {"Base", base},
                  {"SGD", SortVariant(apps::SortSgdLs())},
                  {"SGD+AS,LS", SortVariant(apps::SortSgdAsLs())},
@@ -69,5 +71,5 @@ int main() {
   bench::EmitSweep("Accuracy of Sort - 10000 Iterations", series,
                    harness::TableValue::kSuccessRatePct, "success rate (%)",
                    "fig6_1_sort.csv");
-  return 0;
+  return ctx.Finish();
 }

@@ -29,7 +29,8 @@ harness::TrialFn SgdVariant(const apps::LsqProblem& problem,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("fig6_2_least_squares", argc, argv);
   bench::Banner(
       "Figure 6.2 - Accuracy of Least Squares (1000 iterations)",
       "Section 6.1, Figure 6.2 (lower is better)",
@@ -62,8 +63,9 @@ int main() {
   // early phase is what inflates its error on this objective.
   opt::SgdOptions sqs = apps::LsqSgdAsSqs();
 
-  const auto series = harness::RunFaultRateSweep(
-      sweep, {
+  const auto series = ctx.RunSweep(
+      "lsq", sweep,
+      {
                  {"Base:SVD", base_svd},
                  {"SGD,LS", SgdVariant(problem, apps::LsqSgdLs())},
                  {"SGD+AS,LS", SgdVariant(problem, apps::LsqSgdAsLs())},
@@ -75,5 +77,5 @@ int main() {
   bench::EmitSweep("Accuracy of Least Squares - success rate (rel. error < 1e-2)",
                    series, harness::TableValue::kSuccessRatePct, "success rate (%)",
                    "fig6_2_least_squares_success.csv");
-  return 0;
+  return ctx.Finish();
 }

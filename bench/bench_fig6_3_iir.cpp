@@ -31,7 +31,8 @@ harness::TrialFn RobustVariant(const signal::IirCoefficients& coeffs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("fig6_3_iir", argc, argv);
   bench::Banner(
       "Figure 6.3 - Accuracy of IIR (1000 iterations)",
       "Section 6.1, Figure 6.3 (lower is better)",
@@ -62,8 +63,9 @@ int main() {
     return out;
   };
 
-  const auto series = harness::RunFaultRateSweep(
-      sweep, {
+  const auto series = ctx.RunSweep(
+      "iir", sweep,
+      {
                  {"Base", base},
                  {"SGD,LS", RobustVariant(coeffs, input, clean, apps::IirSgdLs())},
                  {"SGD+AS,LS", RobustVariant(coeffs, input, clean, apps::IirSgdAsLs())},
@@ -72,5 +74,5 @@ int main() {
   bench::EmitSweep("Accuracy of IIR - 1000 Iterations (median error/signal)", series,
                    harness::TableValue::kMedianMetric, "median ||y-y*||/||y*||",
                    "fig6_3_iir.csv");
-  return 0;
+  return ctx.Finish();
 }

@@ -31,7 +31,8 @@ harness::TrialFn RobustVariant(const graph::BipartiteGraph& g,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("fig6_4_matching", argc, argv);
   bench::Banner(
       "Figure 6.4 - Accuracy of Matching (10000 iterations)",
       "Section 6.1, Figure 6.4",
@@ -56,8 +57,9 @@ int main() {
     return out;
   };
 
-  const auto series = harness::RunFaultRateSweep(
-      sweep, {
+  const auto series = ctx.RunSweep(
+      "matching", sweep,
+      {
                  {"Base", base},
                  {"SGD,LS", RobustVariant(g, apps::MatchingBasicLs())},
                  {"SGD+AS,LS", RobustVariant(g, apps::MatchingSgdAsLs())},
@@ -66,5 +68,5 @@ int main() {
   bench::EmitSweep("Accuracy of Matching - 10000 Iterations", series,
                    harness::TableValue::kSuccessRatePct, "success rate (%)",
                    "fig6_4_matching.csv");
-  return 0;
+  return ctx.Finish();
 }

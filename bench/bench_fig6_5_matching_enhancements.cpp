@@ -33,7 +33,8 @@ harness::TrialFn RobustVariant(const graph::BipartiteGraph& g,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("fig6_5_matching_enhancements", argc, argv);
   bench::Banner(
       "Figure 6.5 - Matching enhancements (10000 iterations)",
       "Section 6.2, Figure 6.5",
@@ -59,8 +60,9 @@ int main() {
 
   apps::LpSolveConfig all = apps::MatchingAll();
 
-  const auto series = harness::RunFaultRateSweep(
-      sweep, {
+  const auto series = ctx.RunSweep(
+      "matching-enhancements", sweep,
+      {
                  {"Non-robust", non_robust},
                  {"Basic,LS", RobustVariant(g, apps::MatchingBasicLs())},
                  {"SQS", RobustVariant(g, apps::MatchingSqs())},
@@ -71,5 +73,5 @@ int main() {
   bench::EmitSweep("Accuracy of Matching - enhancements", series,
                    harness::TableValue::kSuccessRatePct, "success rate (%)",
                    "fig6_5_matching_enhancements.csv");
-  return 0;
+  return ctx.Finish();
 }

@@ -24,7 +24,8 @@ harness::TrialFn Baseline(const apps::LsqProblem& problem, linalg::LsqBaseline w
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("fig6_6_cg_least_squares", argc, argv);
   bench::Banner(
       "Figure 6.6 - Accuracy of Least Squares, CG N=10 vs direct baselines",
       "Section 6.3, Figure 6.6 (lower is better)",
@@ -49,8 +50,9 @@ int main() {
     return out;
   };
 
-  const auto series = harness::RunFaultRateSweep(
-      sweep, {
+  const auto series = ctx.RunSweep(
+      "cg-lsq", sweep,
+      {
                  {"Base:QR", Baseline(problem, linalg::LsqBaseline::kQr)},
                  {"Base:SVD", Baseline(problem, linalg::LsqBaseline::kSvd)},
                  {"Base:Cholesky", Baseline(problem, linalg::LsqBaseline::kCholesky)},
@@ -59,5 +61,5 @@ int main() {
   bench::EmitSweep("Accuracy of Least Squares (median relative error)", series,
                    harness::TableValue::kMedianMetric, "median rel. error w.r.t. ideal",
                    "fig6_6_cg_least_squares.csv");
-  return 0;
+  return ctx.Finish();
 }

@@ -30,9 +30,11 @@ struct Operating {
   bool feasible = false;
 };
 
-constexpr int kTrials = 15;
+// Overridable via --trials (clamped to >= 2: the criterion below needs the
+// second-largest error).
+int g_trials = 15;
 
-// Near-worst relative error over the trials (second-largest of kTrials),
+// Near-worst relative error over the trials (second-largest of g_trials),
 // plus mean faulty FLOPs.  The figure's operating criterion is reliability:
 // a solver "meets" an accuracy target at a voltage only if essentially
 // every run does — a direct solver that usually succeeds but occasionally
@@ -44,9 +46,9 @@ template <class Solver>
 std::pair<double, double> Measure(const Solver& solve, double fault_rate,
                                   std::uint64_t seed) {
   std::vector<double> errors;
-  errors.reserve(kTrials);
+  errors.reserve(static_cast<std::size_t>(g_trials));
   double flops = 0.0;
-  for (int t = 0; t < kTrials; ++t) {
+  for (int t = 0; t < g_trials; ++t) {
     core::FaultEnvironment env;
     env.fault_rate = fault_rate;
     env.seed = seed + static_cast<std::uint64_t>(t) * 97;
@@ -54,7 +56,7 @@ std::pair<double, double> Measure(const Solver& solve, double fault_rate,
     const double err = core::WithFaultyFpu(env, solve, &stats);
     errors.push_back(std::isfinite(err) ? err
                                         : std::numeric_limits<double>::infinity());
-    flops += static_cast<double>(stats.faulty_flops) / kTrials;
+    flops += static_cast<double>(stats.faulty_flops) / g_trials;
   }
   std::sort(errors.begin(), errors.end());
   return {errors[errors.size() - 2], flops};
@@ -62,13 +64,16 @@ std::pair<double, double> Measure(const Solver& solve, double fault_rate,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("fig6_7_energy", argc, argv);
+  g_trials = std::max(2, ctx.TrialsOr(g_trials));
   bench::Banner(
       "Figure 6.7 - Least Squares Energy (Power * #FLOPs) vs accuracy target",
       "Section 6.3, Figure 6.7",
       "CG's energy frontier sits below the Cholesky baseline across the "
       "achievable accuracy range; the tightest targets (< ~1e-7) are not "
       "reachable by CG, as in the paper");
+  harness::WallTimer frontier_timer;
 
   const apps::LsqProblem problem = apps::MakeRandomLsqProblem(100, 10, 9);
   const faulty::EnergyModel energy_model;
@@ -148,5 +153,6 @@ int main() {
       std::printf("%-10s %-6s %-10s %-12s\n", "-", "-", "-", "unreachable");
     }
   }
-  return 0;
+  ctx.RecordSection("energy-frontier", frontier_timer.Seconds(), 0.0);
+  return ctx.Finish();
 }

@@ -39,11 +39,13 @@ void Row(const char* app, double base, double robust) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("flop_overhead", argc, argv);
   bench::Banner(
       "FLOP overhead of robustification (Chapter 7)",
       "Chapter 7 (text): robust implementations need 10-1000x more FLOPs",
       "every robust/baseline ratio falls in roughly the 10x-1000x band");
+  harness::WallTimer table_timer;
 
   std::printf("%-18s %-14s %-14s %-10s\n", "application", "baseline", "robust",
               "overhead");
@@ -100,5 +102,6 @@ int main() {
         Flops([&] { return apps::RobustApsp<faulty::Real>(g, apps::ApspConfig()); });
     Row("apsp (5 nodes)", base, robust);
   }
-  return 0;
+  ctx.RecordSection("flop-count-table", table_timer.Seconds(), 0.0);
+  return ctx.Finish();
 }

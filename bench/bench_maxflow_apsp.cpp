@@ -19,7 +19,8 @@ using namespace robustify;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("maxflow_apsp", argc, argv);
   bench::Banner(
       "Max-flow and APSP robustification (Sections 4.5-4.6)",
       "Eqs. 4.6-4.9 (max-flow LP) and 4.10-4.12 (APSP LP); no paper figure "
@@ -56,8 +57,8 @@ int main() {
     return out;
   };
 
-  const auto flow_series = harness::RunFaultRateSweep(
-      sweep, {{"Base: Ford-Fulkerson", flow_base}, {"SGD LP", flow_robust}});
+  const auto flow_series = ctx.RunSweep(
+      "maxflow", sweep, {{"Base: Ford-Fulkerson", flow_base}, {"SGD LP", flow_robust}});
   bench::EmitSweep("Max flow: median relative flow-value error", flow_series,
                    harness::TableValue::kMedianMetric, "median |F-F*|/F*",
                    "maxflow.csv");
@@ -85,10 +86,10 @@ int main() {
     return out;
   };
 
-  const auto apsp_series = harness::RunFaultRateSweep(
-      sweep, {{"Base: Floyd-Warshall", apsp_base}, {"SGD LP", apsp_robust}});
+  const auto apsp_series = ctx.RunSweep(
+      "apsp", sweep, {{"Base: Floyd-Warshall", apsp_base}, {"SGD LP", apsp_robust}});
   bench::EmitSweep("APSP: median max-abs distance error", apsp_series,
                    harness::TableValue::kMedianMetric, "median max |D-D*|",
                    "apsp.csv");
-  return 0;
+  return ctx.Finish();
 }

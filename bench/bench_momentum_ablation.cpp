@@ -50,7 +50,8 @@ harness::TrialFn MatchVariant(const graph::BipartiteGraph& g,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("momentum_ablation", argc, argv);
   bench::Banner(
       "Momentum ablation (Section 6.2.2)",
       "Section 6.2.2 (text): momentum 0.5 improves sorting success 20-40%, "
@@ -67,8 +68,9 @@ int main() {
   apps::LpSolveConfig sort_momentum = sort_plain;
   sort_momentum.sgd.momentum_beta = 0.5;
 
-  const auto sort_series = harness::RunFaultRateSweep(
-      sweep, {
+  const auto sort_series = ctx.RunSweep(
+      "sort-momentum", sweep,
+      {
                  {"sort (no momentum)", SortVariant(sort_plain)},
                  {"sort (momentum 0.5)", SortVariant(sort_momentum)},
              });
@@ -81,13 +83,14 @@ int main() {
   apps::LpSolveConfig match_momentum = match_plain;
   match_momentum.sgd.momentum_beta = 0.5;
 
-  const auto match_series = harness::RunFaultRateSweep(
-      sweep, {
+  const auto match_series = ctx.RunSweep(
+      "matching-momentum", sweep,
+      {
                  {"matching (no momentum)", MatchVariant(g, match_plain)},
                  {"matching (momentum 0.5)", MatchVariant(g, match_momentum)},
              });
   bench::EmitSweep("Matching: momentum ablation", match_series,
                    harness::TableValue::kSuccessRatePct, "success rate (%)",
                    "momentum_matching.csv");
-  return 0;
+  return ctx.Finish();
 }

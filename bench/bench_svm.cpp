@@ -13,7 +13,8 @@ using namespace robustify;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("svm", argc, argv);
   bench::Banner(
       "Robust SVM training (Section 4.7)",
       "Section 4.7 ('Other numerical problems'); no paper figure",
@@ -45,13 +46,14 @@ int main() {
     };
   };
 
-  const auto series = harness::RunFaultRateSweep(
-      sweep, {
+  const auto series = ctx.RunSweep(
+      "svm", sweep,
+      {
                  {"margin=4.0", variant(easy)},
                  {"margin=1.5", variant(hard)},
              });
   bench::EmitSweep("SVM training error rate vs fault rate", series,
                    harness::TableValue::kMedianMetric, "median training error rate",
                    "svm.csv");
-  return 0;
+  return ctx.Finish();
 }

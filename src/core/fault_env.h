@@ -43,8 +43,12 @@ class FaultScope {
 template <class Fn>
 auto WithFaultyFpu(const FaultEnvironment& env, Fn&& fn,
                    faulty::ContextStats* stats = nullptr) -> decltype(fn()) {
+  // The sampling tables are built once per process and shared by every
+  // trial; the injector only keeps a pointer (building a BitDistribution
+  // per trial was measurable across a sweep's thousands of trials).
   faulty::FaultInjector injector(env.fault_rate,
-                                 faulty::BitDistribution(env.bit_model), env.seed);
+                                 faulty::SharedBitDistribution(env.bit_model),
+                                 env.seed);
   if constexpr (std::is_void_v<decltype(fn())>) {
     {
       detail::FaultScope scope(&injector);

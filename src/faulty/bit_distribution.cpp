@@ -1,6 +1,7 @@
 #include "faulty/bit_distribution.h"
 
 #include <cmath>
+#include <vector>
 
 namespace robustify::faulty {
 
@@ -48,10 +49,12 @@ std::array<double, kWordBits> ModelWeights(BitModel model) {
 BitDistribution::BitDistribution(const std::array<double, kWordBits>& weights)
     : weights_(weights) {
   Normalize();
+  BuildAliasTable();
 }
 
 BitDistribution::BitDistribution(BitModel model) : weights_(ModelWeights(model)) {
   Normalize();
+  BuildAliasTable();
 }
 
 void BitDistribution::Normalize() {
@@ -59,26 +62,57 @@ void BitDistribution::Normalize() {
   for (double w : weights_) total += w;
   if (total <= 0.0) {
     weights_.fill(1.0 / kWordBits);
-    total = 1.0;
   } else {
     for (double& w : weights_) w /= total;
   }
-  double acc = 0.0;
-  for (int b = 0; b < kWordBits; ++b) {
-    acc += weights_[static_cast<std::size_t>(b)];
-    cdf_[static_cast<std::size_t>(b)] = acc;
-  }
-  cdf_[kWordBits - 1] = 1.0;  // guard against rounding drift
 }
 
-int BitDistribution::sample(Lfsr& rng) const {
-  const double u = rng.uniform();
-  // 64 entries: linear scan is branch-predictable and as fast as a binary
-  // search at this size.
+void BitDistribution::BuildAliasTable() {
+  // Vose's stable construction.  scaled[i] = p_i * 64; slots below 1 are
+  // topped up by donors above 1, so every slot splits between at most two
+  // outcomes: itself (with probability scaled[i] after top-up) and alias[i].
+  constexpr double kSlotScale = static_cast<double>(1ull << 58);
+  std::array<double, kWordBits> scaled{};
+  std::vector<int> small, large;
   for (int b = 0; b < kWordBits; ++b) {
-    if (u < cdf_[static_cast<std::size_t>(b)]) return b;
+    scaled[static_cast<std::size_t>(b)] = weights_[static_cast<std::size_t>(b)] * kWordBits;
+    (scaled[static_cast<std::size_t>(b)] < 1.0 ? small : large).push_back(b);
   }
-  return kWordBits - 1;
+  while (!small.empty() && !large.empty()) {
+    const int s = small.back();
+    small.pop_back();
+    const int l = large.back();
+    large.pop_back();
+    stay_threshold_[static_cast<std::size_t>(s)] = static_cast<std::uint64_t>(
+        scaled[static_cast<std::size_t>(s)] * kSlotScale);
+    alias_[static_cast<std::size_t>(s)] = static_cast<std::uint8_t>(l);
+    scaled[static_cast<std::size_t>(l)] -= 1.0 - scaled[static_cast<std::size_t>(s)];
+    (scaled[static_cast<std::size_t>(l)] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are exactly 1 up to rounding: the slot always returns itself.
+  for (const int b : large) {
+    stay_threshold_[static_cast<std::size_t>(b)] = ~0ull;
+    alias_[static_cast<std::size_t>(b)] = static_cast<std::uint8_t>(b);
+  }
+  for (const int b : small) {
+    stay_threshold_[static_cast<std::size_t>(b)] = ~0ull;
+    alias_[static_cast<std::size_t>(b)] = static_cast<std::uint8_t>(b);
+  }
+}
+
+const BitDistribution& SharedBitDistribution(BitModel model) {
+  // Magic statics: built once, thread-safe, immutable afterwards.
+  static const BitDistribution bimodal(BitModel::kBimodal);
+  static const BitDistribution uniform(BitModel::kUniform);
+  static const BitDistribution msb(BitModel::kMsbOnly);
+  static const BitDistribution lsb(BitModel::kLsbOnly);
+  switch (model) {
+    case BitModel::kBimodal: return bimodal;
+    case BitModel::kUniform: return uniform;
+    case BitModel::kMsbOnly: return msb;
+    case BitModel::kLsbOnly: return lsb;
+  }
+  return bimodal;
 }
 
 }  // namespace robustify::faulty

@@ -7,6 +7,10 @@
 // with a valley in between and only rare corruption of the exponent and
 // sign.  BitDistribution captures that histogram and supports sampling a
 // bit index from it with an Lfsr.
+//
+// Sampling uses a Walker alias table: one RNG draw and one table probe per
+// fault, O(1) regardless of the histogram shape.  (The previous linear CDF
+// scan was the single hottest function of the whole fig-6 sweep suite.)
 #pragma once
 
 #include <array>
@@ -41,14 +45,32 @@ class BitDistribution {
   // Probability that an injected fault flips bit `bit` (normalized).
   double probability(int bit) const { return weights_[static_cast<std::size_t>(bit)]; }
 
-  // Sample a bit index from the distribution.
-  int sample(Lfsr& rng) const;
+  // Sample a bit index from the distribution: one draw, one alias probe.
+  // The top 6 bits of the draw pick the slot, the remaining 58 decide
+  // between the slot and its alias.
+  int sample(Lfsr& rng) const {
+    const std::uint64_t u = rng.next();
+    const int slot = static_cast<int>(u >> 58);
+    const std::uint64_t r = u & ((1ull << 58) - 1);
+    return r < stay_threshold_[static_cast<std::size_t>(slot)]
+               ? slot
+               : static_cast<int>(alias_[static_cast<std::size_t>(slot)]);
+  }
 
  private:
   void Normalize();
+  void BuildAliasTable();
 
   std::array<double, kWordBits> weights_{};
-  std::array<double, kWordBits> cdf_{};
+  // Walker alias table: slot i is returned when the 58-bit residual draw is
+  // below stay_threshold_[i], otherwise alias_[i] is returned.
+  std::array<std::uint64_t, kWordBits> stay_threshold_{};
+  std::array<std::uint8_t, kWordBits> alias_{};
 };
+
+// The four built-in models, constructed once per process and shared by every
+// injector (an injector is built per trial; rebuilding and copying the
+// tables there was measurable across a million-trial sweep).
+const BitDistribution& SharedBitDistribution(BitModel model);
 
 }  // namespace robustify::faulty

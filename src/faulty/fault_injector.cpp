@@ -1,0 +1,113 @@
+#include "faulty/fault_injector.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace robustify::faulty {
+
+// ROBUSTIFY_INJECTOR=skip|perop forces a strategy for every kAuto injector
+// (measurement and A/B testing knob).  Read once per process.
+FaultInjector::Strategy EnvInjectorStrategy() {
+  static const FaultInjector::Strategy cached = [] {
+    const char* env = std::getenv("ROBUSTIFY_INJECTOR");
+    if (env != nullptr) {
+      const std::string value(env);
+      if (value == "skip" || value == "skipahead" || value == "skip-ahead") {
+        return FaultInjector::Strategy::kSkipAhead;
+      }
+      if (value == "perop" || value == "per-op") {
+        return FaultInjector::Strategy::kPerOp;
+      }
+    }
+    return FaultInjector::Strategy::kAuto;
+  }();
+  return cached;
+}
+
+FaultInjector::FaultInjector(double fault_rate, const BitDistribution& bits,
+                             std::uint64_t seed, Strategy strategy)
+    : bits_(&bits), rng_(seed ^ 0xA5A5A5A55A5A5A5Aull) {
+  if (fault_rate <= 0.0) {
+    threshold_ = 0;
+  } else if (fault_rate >= 1.0) {
+    threshold_ = kNever;
+  } else {
+    threshold_ = static_cast<std::uint64_t>(fault_rate * 18446744073709551616.0);
+    if (threshold_ == 0) threshold_ = 1;
+    inv_log1m_rate_ = 1.0 / std::log1p(-fault_rate);
+  }
+
+  if (strategy == Strategy::kAuto) strategy = EnvInjectorStrategy();
+  if (strategy == Strategy::kAuto) {
+    strategy = fault_rate <= kSkipAheadMaxRate ? Strategy::kSkipAhead
+                                               : Strategy::kPerOp;
+  }
+  per_op_ = strategy == Strategy::kPerOp;
+
+  if (per_op_) {
+    countdown_ = 0;  // every op takes the fault path's Bernoulli decision
+  } else if (threshold_ == 0) {
+    countdown_ = kNever;
+    scheduled_ = kNever;
+  } else if (threshold_ == kNever) {
+    countdown_ = 0;  // rate 1: every op faults
+    scheduled_ = 0;
+  } else {
+    countdown_ = SampleGap();
+    scheduled_ = countdown_;
+  }
+}
+
+// Number of clean ops before the next fault: K ~ Geometric(rate),
+// P(K = k) = rate * (1 - rate)^k, via inverse CDF from one LFSR draw.
+std::uint64_t FaultInjector::SampleGap() {
+  // u in (0, 1]: 53 uniform bits, shifted into the open-at-zero interval so
+  // log(u) is finite.
+  const double u =
+      (static_cast<double>(rng_.next() >> 11) + 1.0) * 0x1.0p-53;
+  const double gap = std::log(u) * inv_log1m_rate_;  // >= 0
+  // Casting a double >= 2^64 is undefined; clamp far gaps to "never" (the
+  // scheduled_ arithmetic wraps mod 2^64, which keeps flop accounting exact).
+  if (!(gap < 18446744073709549568.0)) return kNever;
+  return static_cast<std::uint64_t>(gap);
+}
+
+double FaultInjector::Corrupt(double value) {
+  ++faults_;
+  const int bit = bits_->sample(rng_);
+  std::uint64_t word;
+  std::memcpy(&word, &value, sizeof(word));
+  word ^= (1ull << bit);
+  std::memcpy(&value, &word, sizeof(value));
+  return value;
+}
+
+double FaultInjector::FaultPath(double clean_result) {
+  if (threshold_ == 0) {
+    // Rate 0 (reachable only after 2^64-1 ops): re-arm without faulting.
+    // scheduled_ += kNever + 1 is += 0 mod 2^64, so the invariant
+    // flops = scheduled_ - countdown_ still counts this op.
+    countdown_ = kNever;
+    return clean_result;
+  }
+  const std::uint64_t gap = SampleGap();
+  scheduled_ += gap + 1;  // this op plus the next clean stretch
+  countdown_ = gap;
+  return Corrupt(clean_result);
+}
+
+bool FaultInjector::FaultPathComparison(bool clean_result) {
+  if (threshold_ == 0) {
+    countdown_ = kNever;
+    return clean_result;
+  }
+  const std::uint64_t gap = SampleGap();
+  scheduled_ += gap + 1;
+  countdown_ = gap;
+  ++faults_;
+  return !clean_result;
+}
+
+}  // namespace robustify::faulty

@@ -6,13 +6,35 @@
 // operation routes its IEEE-754 double result through the thread-local
 // injector, which counts the op and, with probability `fault_rate`, flips
 // one bit sampled from the configured BitDistribution.
+//
+// Hot path (geometric skip-ahead): instead of one Bernoulli RNG draw per
+// op, the injector samples the number of clean ops until the next fault
+// once — inverse-CDF of the geometric distribution from a single LFSR
+// draw — and Execute() is then a single counter decrement + compare until
+// the countdown hits zero.  At realistic fault rates (1e-7..1e-3) this
+// removes essentially all RNG work from the per-op path.  Above
+// kSkipAheadMaxRate a fault lands every few ops and the log() in the gap
+// sampler costs more than one cheap draw per op, so the auto strategy falls
+// back to the per-op Bernoulli reference.  Flop accounting stays exact in
+// both modes (skip-ahead derives it from the scheduled-gap arithmetic, so
+// the hot path does not even touch a counter), and a fixed seed + strategy
+// still reproduces the trial bit-for-bit.  Note: the *fault stream* for a
+// given seed differs from the original per-op implementation (PR 1) — the
+// two strategies are statistically, not bitwise, equivalent.
 #pragma once
 
 #include <cstdint>
-#include <cstring>
 
 #include "faulty/bit_distribution.h"
 #include "faulty/lfsr.h"
+
+// The countdown branch is taken for all but ~rate of the ops; telling the
+// compiler keeps the fault machinery out of the fall-through path.
+#if defined(__GNUC__) || defined(__clang__)
+#define ROBUSTIFY_LIKELY(x) __builtin_expect(!!(x), 1)
+#else
+#define ROBUSTIFY_LIKELY(x) (x)
+#endif
 
 namespace robustify::faulty {
 
@@ -24,54 +46,98 @@ struct ContextStats {
 
 class FaultInjector {
  public:
-  FaultInjector(double fault_rate, const BitDistribution& bits, std::uint64_t seed)
-      : bits_(bits), rng_(seed ^ 0xA5A5A5A55A5A5A5Aull) {
-    if (fault_rate <= 0.0) {
-      threshold_ = 0;
-    } else if (fault_rate >= 1.0) {
-      threshold_ = ~0ull;
-    } else {
-      threshold_ = static_cast<std::uint64_t>(fault_rate * 18446744073709551616.0);
-      if (threshold_ == 0) threshold_ = 1;
-    }
-  }
+  enum class Strategy {
+    kAuto,       // skip-ahead at low rates, per-op above kSkipAheadMaxRate
+    kSkipAhead,  // geometric countdown
+    kPerOp,      // original per-op Bernoulli draw (reference implementation)
+  };
 
-  // Hot path: count the op, rarely corrupt it.
+  // Measured crossover: above ~1/16 faults per op the geometric gap sampler
+  // (one log() per fault) is slower than one LFSR draw per op.
+  static constexpr double kSkipAheadMaxRate = 0.0625;
+
+  // `bits` is captured by pointer and must outlive the injector; use
+  // SharedBitDistribution() for the built-in models.  kAuto resolves via
+  // the ROBUSTIFY_INJECTOR environment variable ("skip" or "perop") when
+  // set, else by fault rate.
+  FaultInjector(double fault_rate, const BitDistribution& bits, std::uint64_t seed,
+                Strategy strategy = Strategy::kAuto);
+  // A temporary would dangle (only a pointer is kept); make it a compile
+  // error instead of a use-after-free on the first injected fault.
+  FaultInjector(double fault_rate, BitDistribution&& bits, std::uint64_t seed,
+                Strategy strategy = Strategy::kAuto) = delete;
+
+  // Hot path: clean until the countdown expires.  In per-op mode the
+  // countdown is pinned to zero, so control falls through to the original
+  // inline Bernoulli decision on every op.
   double Execute(double clean_result) {
-    ++stats_.faulty_flops;
-    if (threshold_ != 0 && rng_.next() < threshold_) return Corrupt(clean_result);
-    return clean_result;
+    const std::uint64_t remaining = countdown_;
+    if (ROBUSTIFY_LIKELY(remaining != 0)) {
+      countdown_ = remaining - 1;
+      return clean_result;
+    }
+    if (per_op_) {
+      ++per_op_ops_;
+      if (threshold_ != 0 && rng_.next() < threshold_) return Corrupt(clean_result);
+      return clean_result;
+    }
+    return FaultPath(clean_result);
   }
 
   // FP comparisons run through the subtractor and the comparator flags; a
   // timing fault there inverts the predicate outcome.
   bool ExecuteComparison(bool clean_result) {
-    ++stats_.faulty_flops;
-    if (threshold_ != 0 && rng_.next() < threshold_) {
-      ++stats_.faults_injected;
-      return !clean_result;
+    const std::uint64_t remaining = countdown_;
+    if (ROBUSTIFY_LIKELY(remaining != 0)) {
+      countdown_ = remaining - 1;
+      return clean_result;
     }
-    return clean_result;
+    if (per_op_) {
+      ++per_op_ops_;
+      if (threshold_ != 0 && rng_.next() < threshold_) {
+        ++faults_;
+        return !clean_result;
+      }
+      return clean_result;
+    }
+    return FaultPathComparison(clean_result);
   }
 
-  const ContextStats& stats() const { return stats_; }
+  ContextStats stats() const {
+    ContextStats s;
+    // Skip-ahead invariant (mod 2^64): ops executed = scheduled_ - countdown_.
+    s.faulty_flops = per_op_ ? per_op_ops_ : scheduled_ - countdown_;
+    s.faults_injected = faults_;
+    return s;
+  }
+
+  Strategy strategy() const { return per_op_ ? Strategy::kPerOp : Strategy::kSkipAhead; }
 
  private:
-  double Corrupt(double value) {
-    ++stats_.faults_injected;
-    const int bit = bits_.sample(rng_);
-    std::uint64_t word;
-    std::memcpy(&word, &value, sizeof(word));
-    word ^= (1ull << bit);
-    std::memcpy(&value, &word, sizeof(value));
-    return value;
-  }
+  static constexpr std::uint64_t kNever = ~0ull;
 
-  BitDistribution bits_;
+  // Cold paths (out of line, src/faulty/fault_injector.cpp): corrupt the
+  // result and, in skip-ahead mode, re-arm the countdown.
+  double FaultPath(double clean_result);
+  bool FaultPathComparison(bool clean_result);
+  std::uint64_t SampleGap();
+  double Corrupt(double value);
+
+  const BitDistribution* bits_;
   Lfsr rng_;
-  std::uint64_t threshold_ = 0;  // fault_rate scaled to the uint64 range
-  ContextStats stats_;
+  std::uint64_t countdown_ = 0;   // clean ops left before the next fault
+  std::uint64_t scheduled_ = 0;   // cumulative ops covered by sampled gaps
+  std::uint64_t per_op_ops_ = 0;  // per-op mode: explicit op counter
+  std::uint64_t faults_ = 0;
+  std::uint64_t threshold_ = 0;   // fault_rate scaled to the uint64 range
+  double inv_log1m_rate_ = 0.0;   // 1 / ln(1 - rate); 0 handled separately
+  bool per_op_ = false;
 };
+
+// The ROBUSTIFY_INJECTOR override every kAuto injector resolves through:
+// kSkipAhead for "skip"/"skipahead"/"skip-ahead", kPerOp for "perop"/
+// "per-op", kAuto when unset or unrecognized.  Cached on first use.
+FaultInjector::Strategy EnvInjectorStrategy();
 
 namespace detail {
 

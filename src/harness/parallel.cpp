@@ -1,0 +1,101 @@
+#include "harness/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace robustify::harness {
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("ROBUSTIFY_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++active_;
+    }
+    task();  // tasks must not throw (ParallelFor wraps user fns)
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int count, int threads, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  const int workers = std::min(ResolveThreadCount(threads), count);
+  if (workers <= 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  const auto drive = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  ThreadPool pool(workers);
+  for (int w = 0; w < workers; ++w) pool.Submit(drive);
+  pool.Wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace robustify::harness

@@ -1,0 +1,56 @@
+#include "harness/perf_report.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace robustify::harness {
+
+namespace {
+
+// Section/bench names are short identifiers, but escape the JSON-breaking
+// characters anyway.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void WritePerfJson(const std::string& path, const PerfReport& report) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open perf report for writing: " + path);
+  out << "{\n"
+      << "  \"bench\": \"" << JsonEscape(report.bench) << "\",\n"
+      << "  \"threads\": " << report.threads << ",\n"
+      << "  \"injector_strategy\": \"" << JsonEscape(report.injector_strategy)
+      << "\",\n"
+      << "  \"wall_seconds\": " << Num(report.wall_seconds) << ",\n"
+      << "  \"sections\": [";
+  for (std::size_t i = 0; i < report.sections.size(); ++i) {
+    const PerfSection& s = report.sections[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "    {\"name\": \"" << JsonEscape(s.name) << "\","
+        << " \"wall_seconds\": " << Num(s.wall_seconds) << ","
+        << " \"faulty_flops\": " << Num(s.faulty_flops) << ","
+        << " \"injector_mops_per_sec\": " << Num(s.injector_mops_per_sec) << ","
+        << " \"serial_wall_seconds\": " << Num(s.serial_wall_seconds) << ","
+        << " \"speedup_vs_serial\": " << Num(s.speedup_vs_serial) << "}";
+  }
+  out << "\n  ]\n}\n";
+  if (!out.good()) throw std::runtime_error("failed writing perf report: " + path);
+}
+
+}  // namespace robustify::harness

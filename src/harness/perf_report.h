@@ -1,0 +1,36 @@
+// Machine-readable perf reports (BENCH_<name>.json).
+//
+// Every bench emits one report via bench_common.h: wall time per timed
+// section, FP ops routed through the injector, injector throughput, and —
+// when a serial rerun was requested — the measured speedup vs. one thread.
+// The JSON files seed the perf trajectory that later optimization PRs
+// compare against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace robustify::harness {
+
+struct PerfSection {
+  std::string name;
+  double wall_seconds = 0.0;
+  double faulty_flops = 0.0;        // ops through the injector (0 = not tracked)
+  double injector_mops_per_sec = 0.0;
+  double serial_wall_seconds = 0.0; // 0 = serial rerun not measured
+  double speedup_vs_serial = 0.0;   // 0 = not measured
+};
+
+struct PerfReport {
+  std::string bench;
+  int threads = 1;
+  std::string injector_strategy;  // "auto", "skip-ahead", or "per-op"
+  double wall_seconds = 0.0;      // whole-process wall time
+  std::vector<PerfSection> sections;
+};
+
+// Writes the report as JSON.  Throws std::runtime_error when the file
+// cannot be written.
+void WritePerfJson(const std::string& path, const PerfReport& report);
+
+}  // namespace robustify::harness

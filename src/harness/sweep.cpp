@@ -1,20 +1,41 @@
 #include "harness/sweep.h"
 
+#include "harness/parallel.h"
+
 namespace robustify::harness {
 
 std::vector<Series> RunFaultRateSweep(const SweepConfig& config,
                                       const std::vector<NamedTrial>& trials) {
+  const int series_count = static_cast<int>(trials.size());
+  const int rate_count = static_cast<int>(config.fault_rates.size());
+  const int reps = config.trials > 0 ? config.trials : 0;
+
+  // One preallocated slot per (series, rate, repetition) cell: workers write
+  // disjoint slots, the reduction below reads them in deterministic order.
+  std::vector<TrialOutcome> outcomes(
+      static_cast<std::size_t>(series_count * rate_count * reps));
+  ParallelFor(series_count * rate_count * reps, config.threads, [&](int cell) {
+    const int s = cell / (rate_count * reps);
+    const int r = (cell / reps) % rate_count;
+    const int t = cell % reps;
+    core::FaultEnvironment env;
+    env.fault_rate = config.fault_rates[static_cast<std::size_t>(r)];
+    env.seed = config.base_seed;
+    env.bit_model = config.bit_model;
+    outcomes[static_cast<std::size_t>(cell)] =
+        RunSingleTrial(trials[static_cast<std::size_t>(s)].fn, env, t);
+  });
+
   std::vector<Series> result;
   result.reserve(trials.size());
-  for (const NamedTrial& trial : trials) {
+  for (int s = 0; s < series_count; ++s) {
     Series series;
-    series.name = trial.name;
-    for (const double rate : config.fault_rates) {
-      core::FaultEnvironment env;
-      env.fault_rate = rate;
-      env.seed = config.base_seed;
-      env.bit_model = config.bit_model;
-      series.points.push_back({rate, RunTrials(trial.fn, env, config.trials)});
+    series.name = trials[static_cast<std::size_t>(s)].name;
+    for (int r = 0; r < rate_count; ++r) {
+      const TrialOutcome* cell =
+          outcomes.data() + static_cast<std::ptrdiff_t>((s * rate_count + r) * reps);
+      series.points.push_back({config.fault_rates[static_cast<std::size_t>(r)],
+                               SummarizeOutcomes(cell, reps)});
     }
     result.push_back(std::move(series));
   }

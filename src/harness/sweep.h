@@ -14,6 +14,12 @@ struct SweepConfig {
   int trials = 10;
   std::uint64_t base_seed = 1;
   faulty::BitModel bit_model = faulty::BitModel::kBimodal;
+  // Worker threads for the (trial fn, rate, repetition) grid: 0 = auto
+  // (ROBUSTIFY_THREADS env var, else hardware concurrency).  Results are
+  // byte-identical for every thread count: each cell derives its seed from
+  // base_seed + repetition alone and the reduction runs serially in grid
+  // order.
+  int threads = 0;
 };
 
 struct SeriesPoint {
@@ -31,7 +37,8 @@ struct NamedTrial {
   TrialFn fn;
 };
 
-// Runs every named trial at every fault rate (one Series per trial).
+// Runs every named trial at every fault rate (one Series per trial), fanning
+// the whole grid across the harness thread pool.
 std::vector<Series> RunFaultRateSweep(const SweepConfig& config,
                                       const std::vector<NamedTrial>& trials);
 

@@ -1,0 +1,23 @@
+// Monotonic wall-clock timer for the perf reporting subsystem.
+#pragma once
+
+#include <chrono>
+
+namespace robustify::harness {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace robustify::harness

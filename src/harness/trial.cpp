@@ -5,10 +5,18 @@
 #include <limits>
 #include <vector>
 
+#include "harness/parallel.h"
+
 namespace robustify::harness {
 
-TrialSummary RunTrials(const TrialFn& fn, core::FaultEnvironment env, int trials) {
-  const std::uint64_t base_seed = env.seed;
+TrialOutcome RunSingleTrial(const TrialFn& fn, core::FaultEnvironment env,
+                            int trial_index) {
+  env.seed += static_cast<std::uint64_t>(trial_index);
+  return fn(env);
+}
+
+TrialSummary SummarizeOutcomes(const TrialOutcome* outcomes, int count) {
+  const int trials = count > 0 ? count : 0;
   TrialSummary summary;
   summary.trials = trials;
   std::vector<double> metrics;
@@ -16,8 +24,7 @@ TrialSummary RunTrials(const TrialFn& fn, core::FaultEnvironment env, int trials
   double finite_sum = 0.0;
   int finite_count = 0;
   for (int t = 0; t < trials; ++t) {
-    env.seed = base_seed + static_cast<std::uint64_t>(t);
-    const TrialOutcome outcome = fn(env);
+    const TrialOutcome& outcome = outcomes[t];
     if (outcome.success) ++summary.successes;
     const double metric = std::isfinite(outcome.metric)
                               ? outcome.metric
@@ -39,6 +46,19 @@ TrialSummary RunTrials(const TrialFn& fn, core::FaultEnvironment env, int trials
   }
   summary.mean_metric = finite_count > 0 ? finite_sum / finite_count : 0.0;
   return summary;
+}
+
+TrialSummary SummarizeOutcomes(const std::vector<TrialOutcome>& outcomes) {
+  return SummarizeOutcomes(outcomes.data(), static_cast<int>(outcomes.size()));
+}
+
+TrialSummary RunTrials(const TrialFn& fn, core::FaultEnvironment env, int trials,
+                       int threads) {
+  if (trials < 0) trials = 0;
+  std::vector<TrialOutcome> outcomes(static_cast<std::size_t>(trials));
+  ParallelFor(trials, threads,
+              [&](int t) { outcomes[static_cast<std::size_t>(t)] = RunSingleTrial(fn, env, t); });
+  return SummarizeOutcomes(outcomes);
 }
 
 }  // namespace robustify::harness

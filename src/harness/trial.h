@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "core/fault_env.h"
 
@@ -27,8 +28,23 @@ struct TrialSummary {
   double mean_faults_injected = 0.0;
 };
 
-// Runs `trials` trials; trial t uses env.seed = base.seed + t so inputs and
-// fault sequences differ per trial but are paired across fault rates.
-TrialSummary RunTrials(const TrialFn& fn, core::FaultEnvironment env, int trials);
+// Runs repetition `trial_index` of `fn`: env.seed = env.seed + trial_index,
+// so inputs and fault sequences differ per trial but are paired across
+// fault rates.  This is the unit of work the parallel sweep fans out.
+TrialOutcome RunSingleTrial(const TrialFn& fn, core::FaultEnvironment env,
+                            int trial_index);
+
+// Deterministic in-order reduction of per-trial outcomes (the accumulation
+// order is fixed by the outcome order, never by thread scheduling).  The
+// pointer+count form lets the sweep reduce each cell in place out of its
+// preallocated grid.
+TrialSummary SummarizeOutcomes(const TrialOutcome* outcomes, int count);
+TrialSummary SummarizeOutcomes(const std::vector<TrialOutcome>& outcomes);
+
+// Runs `trials` trials across `threads` workers (see ResolveThreadCount in
+// harness/parallel.h; the default keeps the historical serial behavior).
+// Results are identical for every thread count.
+TrialSummary RunTrials(const TrialFn& fn, core::FaultEnvironment env, int trials,
+                       int threads = 1);
 
 }  // namespace robustify::harness

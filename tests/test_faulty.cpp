@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -22,6 +23,9 @@ using robustify::faulty::FaultInjector;
 using robustify::faulty::kWordBits;
 using robustify::faulty::Lfsr;
 using robustify::faulty::Real;
+using robustify::faulty::SharedBitDistribution;
+
+using Strategy = FaultInjector::Strategy;
 
 TEST(Lfsr, DeterministicSequence) {
   Lfsr a(42);
@@ -105,26 +109,107 @@ TEST(BitDistribution, SampleMatchesProbabilities) {
 }
 
 TEST(FaultInjector, RateZeroCountsButNeverCorrupts) {
-  FaultInjector injector(0.0, BitDistribution(BitModel::kBimodal), 5);
-  for (int i = 0; i < 10000; ++i) {
-    EXPECT_EQ(injector.Execute(1.25), 1.25);
+  for (const Strategy strategy : {Strategy::kSkipAhead, Strategy::kPerOp}) {
+    FaultInjector injector(0.0, SharedBitDistribution(BitModel::kBimodal), 5,
+                           strategy);
+    for (int i = 0; i < 10000; ++i) {
+      EXPECT_EQ(injector.Execute(1.25), 1.25);
+    }
+    EXPECT_EQ(injector.stats().faulty_flops, 10000u);
+    EXPECT_EQ(injector.stats().faults_injected, 0u);
   }
-  EXPECT_EQ(injector.stats().faulty_flops, 10000u);
-  EXPECT_EQ(injector.stats().faults_injected, 0u);
+}
+
+TEST(FaultInjector, RateOneCorruptsEveryOp) {
+  for (const Strategy strategy : {Strategy::kSkipAhead, Strategy::kPerOp}) {
+    FaultInjector injector(1.0, SharedBitDistribution(BitModel::kBimodal), 5,
+                           strategy);
+    for (int i = 0; i < 10000; ++i) {
+      EXPECT_NE(injector.Execute(1.25), 1.25);  // a bit flip never round-trips
+    }
+    EXPECT_EQ(injector.stats().faulty_flops, 10000u);
+    EXPECT_EQ(injector.stats().faults_injected, 10000u);
+  }
 }
 
 TEST(FaultInjector, FaultRateWithinStatisticalTolerance) {
   constexpr double kRate = 0.1;
   constexpr int kOps = 1000000;
-  FaultInjector injector(kRate, BitDistribution(BitModel::kBimodal), 99);
+  FaultInjector injector(kRate, SharedBitDistribution(BitModel::kBimodal), 99);
   for (int i = 0; i < kOps; ++i) injector.Execute(3.0);
   const double observed =
       static_cast<double>(injector.stats().faults_injected) / kOps;
   EXPECT_NEAR(observed, kRate, 0.003);  // ~10 sigma
 }
 
+// The geometric skip-ahead and per-op Bernoulli strategies must agree in
+// law: at every rate both fault counts sit inside the binomial confidence
+// band around kOps * rate.
+TEST(FaultInjector, SkipAheadStatisticallyEquivalentToPerOp) {
+  constexpr int kOps = 2000000;
+  for (const double rate : {1e-3, 1e-2, 0.05}) {
+    FaultInjector skip(rate, SharedBitDistribution(BitModel::kBimodal), 1234,
+                       Strategy::kSkipAhead);
+    FaultInjector perop(rate, SharedBitDistribution(BitModel::kBimodal), 4321,
+                        Strategy::kPerOp);
+    for (int i = 0; i < kOps; ++i) {
+      skip.Execute(3.0);
+      perop.Execute(3.0);
+    }
+    EXPECT_EQ(skip.stats().faulty_flops, static_cast<std::uint64_t>(kOps));
+    EXPECT_EQ(perop.stats().faulty_flops, static_cast<std::uint64_t>(kOps));
+    const double expected = kOps * rate;
+    const double tolerance = 6.0 * std::sqrt(kOps * rate * (1.0 - rate));
+    EXPECT_NEAR(static_cast<double>(skip.stats().faults_injected), expected,
+                tolerance)
+        << "skip-ahead at rate " << rate;
+    EXPECT_NEAR(static_cast<double>(perop.stats().faults_injected), expected,
+                tolerance)
+        << "per-op at rate " << rate;
+  }
+}
+
+// Comparisons share the same countdown stream and the same statistics.
+TEST(FaultInjector, ComparisonFaultRateWithinTolerance) {
+  constexpr double kRate = 0.01;
+  constexpr int kOps = 1000000;
+  FaultInjector injector(kRate, SharedBitDistribution(BitModel::kBimodal), 7,
+                         Strategy::kSkipAhead);
+  int inverted = 0;
+  for (int i = 0; i < kOps; ++i) {
+    if (!injector.ExecuteComparison(true)) ++inverted;
+  }
+  EXPECT_EQ(injector.stats().faulty_flops, static_cast<std::uint64_t>(kOps));
+  EXPECT_EQ(injector.stats().faults_injected, static_cast<std::uint64_t>(inverted));
+  EXPECT_NEAR(static_cast<double>(inverted), kOps * kRate,
+              6.0 * std::sqrt(kOps * kRate * (1.0 - kRate)));
+}
+
+TEST(FaultInjector, DeterministicForFixedSeedAndStrategy) {
+  for (const Strategy strategy : {Strategy::kSkipAhead, Strategy::kPerOp}) {
+    FaultInjector a(0.01, SharedBitDistribution(BitModel::kBimodal), 99, strategy);
+    FaultInjector b(0.01, SharedBitDistribution(BitModel::kBimodal), 99, strategy);
+    for (int i = 0; i < 100000; ++i) {
+      const double clean = 1.0 + i * 0.5;
+      ASSERT_EQ(a.Execute(clean), b.Execute(clean));
+    }
+    EXPECT_EQ(a.stats().faults_injected, b.stats().faults_injected);
+    EXPECT_EQ(a.stats().faulty_flops, b.stats().faulty_flops);
+  }
+}
+
+TEST(FaultInjector, AutoStrategySelectsByRate) {
+  if (std::getenv("ROBUSTIFY_INJECTOR") != nullptr) {
+    GTEST_SKIP() << "ROBUSTIFY_INJECTOR overrides the kAuto rate heuristic";
+  }
+  const FaultInjector low(0.001, SharedBitDistribution(BitModel::kBimodal), 1);
+  EXPECT_EQ(low.strategy(), Strategy::kSkipAhead);
+  const FaultInjector high(0.5, SharedBitDistribution(BitModel::kBimodal), 1);
+  EXPECT_EQ(high.strategy(), Strategy::kPerOp);
+}
+
 TEST(FaultInjector, CorruptionFlipsExactlyOneBit) {
-  FaultInjector injector(1.0, BitDistribution(BitModel::kBimodal), 17);
+  FaultInjector injector(1.0, SharedBitDistribution(BitModel::kBimodal), 17);
   for (int i = 0; i < 1000; ++i) {
     const double clean = 1.0 + i * 0.125;
     const double corrupted = injector.Execute(clean);

@@ -1,0 +1,127 @@
+// Parallel harness: thread pool, parallel-for, thread-count resolution, and
+// the determinism guarantee — sweep output is identical for every worker
+// count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "core/fault_env.h"
+#include "faulty/real.h"
+#include "harness/parallel.h"
+#include "harness/sweep.h"
+#include "harness/trial.h"
+
+namespace {
+
+using namespace robustify;
+
+TEST(ResolveThreadCount, ExplicitRequestWins) {
+  EXPECT_EQ(harness::ResolveThreadCount(3), 3);
+  EXPECT_EQ(harness::ResolveThreadCount(1), 1);
+}
+
+TEST(ResolveThreadCount, EnvOverrideAppliesWhenUnspecified) {
+  ASSERT_EQ(setenv("ROBUSTIFY_THREADS", "5", 1), 0);
+  EXPECT_EQ(harness::ResolveThreadCount(0), 5);
+  EXPECT_EQ(harness::ResolveThreadCount(2), 2);  // explicit still wins
+  ASSERT_EQ(unsetenv("ROBUSTIFY_THREADS"), 0);
+  EXPECT_GE(harness::ResolveThreadCount(0), 1);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  harness::ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> visits(257);
+    for (auto& v : visits) v.store(0);
+    harness::ParallelFor(static_cast<int>(visits.size()), threads,
+                         [&](int i) { visits[static_cast<std::size_t>(i)].fetch_add(1); });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelFor, PropagatesTheFirstException) {
+  EXPECT_THROW(
+      harness::ParallelFor(64, 4,
+                           [](int i) {
+                             if (i % 7 == 0) throw std::runtime_error("cell failed");
+                           }),
+      std::runtime_error);
+}
+
+// A trial that actually exercises the faulty FPU, so the determinism check
+// covers injector seeding, not just the harness plumbing.
+harness::TrialFn FaultyAccumulateTrial() {
+  return [](const core::FaultEnvironment& env) {
+    harness::TrialOutcome out;
+    const double sum = core::WithFaultyFpu(
+        env,
+        [&] {
+          faulty::Real acc(0);
+          for (int i = 1; i <= 2000; ++i) acc += faulty::Real(1.0 / i);
+          return acc.value();
+        },
+        &out.fpu_stats);
+    out.metric = sum;
+    out.success = std::isfinite(sum);
+    return out;
+  };
+}
+
+bool SummariesIdentical(const harness::TrialSummary& a, const harness::TrialSummary& b) {
+  return a.trials == b.trials && a.successes == b.successes &&
+         a.success_rate_pct == b.success_rate_pct &&
+         a.median_metric == b.median_metric && a.mean_metric == b.mean_metric &&
+         a.mean_faulty_flops == b.mean_faulty_flops &&
+         a.mean_faults_injected == b.mean_faults_injected;
+}
+
+TEST(Sweep, ByteIdenticalResultsForEveryThreadCount) {
+  const auto run = [](int threads) {
+    harness::SweepConfig config;
+    config.fault_rates = {0.0, 0.01, 0.3};  // spans skip-ahead and per-op
+    config.trials = 6;
+    config.base_seed = 17;
+    config.threads = threads;
+    return harness::RunFaultRateSweep(
+        config, {{"a", FaultyAccumulateTrial()}, {"b", FaultyAccumulateTrial()}});
+  };
+  const auto serial = run(1);
+  for (const int threads : {2, 8}) {
+    const auto parallel = run(threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t s = 0; s < serial.size(); ++s) {
+      ASSERT_EQ(parallel[s].points.size(), serial[s].points.size());
+      for (std::size_t p = 0; p < serial[s].points.size(); ++p) {
+        EXPECT_EQ(parallel[s].points[p].fault_rate, serial[s].points[p].fault_rate);
+        EXPECT_TRUE(SummariesIdentical(parallel[s].points[p].summary,
+                                       serial[s].points[p].summary))
+            << "series " << s << " point " << p << " differs with " << threads
+            << " threads";
+      }
+    }
+  }
+}
+
+TEST(RunTrials, ParallelMatchesSerial) {
+  core::FaultEnvironment env;
+  env.fault_rate = 0.02;
+  env.seed = 5;
+  const harness::TrialFn fn = FaultyAccumulateTrial();
+  const harness::TrialSummary serial = harness::RunTrials(fn, env, 8, 1);
+  const harness::TrialSummary parallel = harness::RunTrials(fn, env, 8, 4);
+  EXPECT_TRUE(SummariesIdentical(serial, parallel));
+}
+
+}  // namespace
