@@ -15,6 +15,7 @@
 #include "linalg/vector.h"
 #include "opt/lp.h"
 #include "opt/sgd.h"
+#include "opt/workspace.h"
 
 namespace robustify::apps {
 
@@ -28,7 +29,10 @@ double MaxAbsDistanceError(const linalg::Matrix<double>& d,
                            const linalg::Matrix<double>& exact);
 
 template <class T>
-ApspResult RobustApsp(const graph::Digraph& g, const ApspConfig& config) {
+ApspResult RobustApsp(const graph::Digraph& g, const ApspConfig& config,
+                      opt::Workspace<T>* workspace = nullptr) {
+  opt::Workspace<T>& ws =
+      workspace != nullptr ? *workspace : opt::ThreadWorkspace<T>();
   const std::size_t n = static_cast<std::size_t>(g.nodes);
   ApspResult result;
   result.valid = true;
@@ -61,7 +65,7 @@ ApspResult RobustApsp(const graph::Digraph& g, const ApspConfig& config) {
           core::AnnealedPenalty(config.lp.anneal_phases, config.lp.anneal_factor);
     }
     linalg::Vector<T> d(vars);
-    d = opt::MinimizeSgd(lp, std::move(d), options);
+    d = opt::MinimizeSgd(lp, std::move(d), options, &ws);
 
     if (!AllFinite(d)) result.valid = false;
     result.distances(static_cast<std::size_t>(s), static_cast<std::size_t>(s)) = 0.0;

@@ -13,6 +13,7 @@
 #include "linalg/matrix.h"
 #include "linalg/scalar.h"
 #include "linalg/vector.h"
+#include "opt/workspace.h"
 
 namespace robustify::apps {
 
@@ -30,8 +31,11 @@ struct RayleighOptions {
 
 template <class T>
 std::vector<Eigenpair> TopEigenpairsRayleigh(const linalg::Matrix<double>& a, std::size_t k,
-                                             const RayleighOptions& options) {
+                                             const RayleighOptions& options,
+                                             opt::Workspace<T>* workspace = nullptr) {
   using std::sqrt;
+  opt::Workspace<T>& ws =
+      workspace != nullptr ? *workspace : opt::ThreadWorkspace<T>();
   const std::size_t n = a.rows();
   const linalg::Matrix<T> b = linalg::Cast<T>(a);
 
@@ -49,13 +53,15 @@ std::vector<Eigenpair> TopEigenpairsRayleigh(const linalg::Matrix<double>& a, st
     for (std::size_t i = 0; i < n; ++i) {
       x[i] = T(1.0 / static_cast<double>(1 + i + pair_idx));
     }
+    typename opt::Workspace<T>::Lease y_lease = ws.Borrow(n);
+    linalg::Vector<T>& y = *y_lease;
     for (int it = 0; it < options.iterations; ++it) {
       // Deflate: project out previously found eigenvectors.
       for (const auto& v : found) {
         const T coef = Dot(v, x);
         for (std::size_t i = 0; i < n; ++i) x[i] -= coef * v[i];
       }
-      linalg::Vector<T> y = MatVec(b, x);
+      MatVecInto(b, x, &y);
       const T c(shift);
       for (std::size_t i = 0; i < n; ++i) y[i] += c * x[i];
       const T norm = Norm(y);

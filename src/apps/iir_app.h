@@ -15,6 +15,7 @@
 #include "linalg/scalar.h"
 #include "linalg/vector.h"
 #include "opt/sgd.h"
+#include "opt/workspace.h"
 #include "signal/signals.h"
 
 namespace robustify::apps {
@@ -47,8 +48,12 @@ namespace detail {
 template <class T>
 class IirObjective {
  public:
-  IirObjective(const signal::IirCoefficients& coeffs, const linalg::Vector<double>& input)
-      : a_(coeffs.a), n_(input.size()), forcing_(input.size()) {
+  IirObjective(const signal::IirCoefficients& coeffs, const linalg::Vector<double>& input,
+               opt::Workspace<T>* workspace)
+      : a_(coeffs.a),
+        n_(input.size()),
+        forcing_(input.size()),
+        r_lease_(workspace->Borrow(input.size())) {
     const std::size_t nb = coeffs.b.size();
     // The forcing term is computed once and then read every iteration, so a
     // fault here would persist for the whole solve.  Compute it three times
@@ -82,7 +87,10 @@ class IirObjective {
 
   void Gradient(const linalg::Vector<T>& y, linalg::Vector<T>* g) const {
     // r_t = y_t + sum_k a_k y_{t-k} - f_t;  dF/dy_s = r_s + sum_k a_k r_{s+k}.
-    std::vector<T> r(n_);
+    // The residual scratch is a lifetime lease (see the constructor);
+    // restrict restores the no-alias fact the pooled buffer loses.
+    T* ROBUSTIFY_RESTRICT r = r_lease_->data();
+    T* ROBUSTIFY_RESTRICT gp = g->data();
     for (std::size_t t = 0; t < n_; ++t) r[t] = Residual(y, t);
     const std::size_t na = a_.size();
     for (std::size_t s = 0; s < n_; ++s) {
@@ -90,7 +98,7 @@ class IirObjective {
       for (std::size_t k = 1; k <= na && s + k < n_; ++k) {
         acc += T(a_[k - 1]) * r[s + k];
       }
-      (*g)[s] = acc;
+      gp[s] = acc;
     }
   }
 
@@ -107,6 +115,8 @@ class IirObjective {
   const std::vector<double>& a_;
   std::size_t n_;
   linalg::Vector<T> forcing_;
+  // Residual scratch held for the objective's lifetime (Gradient is const).
+  mutable typename opt::Workspace<T>::Lease r_lease_;
 };
 
 }  // namespace detail
@@ -114,10 +124,13 @@ class IirObjective {
 template <class T>
 linalg::Vector<double> RobustIir(const signal::IirCoefficients& coeffs,
                                  const linalg::Vector<double>& input,
-                                 const opt::SgdOptions& options) {
-  detail::IirObjective<T> objective(coeffs, input);
+                                 const opt::SgdOptions& options,
+                                 opt::Workspace<T>* workspace = nullptr) {
+  opt::Workspace<T>& ws =
+      workspace != nullptr ? *workspace : opt::ThreadWorkspace<T>();
+  detail::IirObjective<T> objective(coeffs, input, &ws);
   linalg::Vector<T> y(input.size());
-  y = opt::MinimizeSgd(objective, std::move(y), options);
+  y = opt::MinimizeSgd(objective, std::move(y), options, &ws);
   return linalg::ToDouble(y);
 }
 

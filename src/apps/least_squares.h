@@ -9,6 +9,7 @@
 #include "linalg/vector.h"
 #include "opt/cg.h"
 #include "opt/sgd.h"
+#include "opt/workspace.h"
 
 namespace robustify::apps {
 
@@ -31,14 +32,19 @@ linalg::Vector<double> SolveLsqBaseline(const LsqProblem& problem, linalg::LsqBa
 
 namespace detail {
 
-// 0.5 * ||A x - b||^2 for the SGD engine.
+// 0.5 * ||A x - b||^2 for the SGD engine.  The residual scratch is a
+// lifetime workspace lease and A^T r lands directly in the caller's
+// gradient buffer, so both evaluations are allocation-free.
 template <class T>
 class LsqObjective {
  public:
-  LsqObjective(const linalg::Matrix<T>& a, const linalg::Vector<T>& b) : a_(a), b_(b) {}
+  LsqObjective(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
+               opt::Workspace<T>* workspace)
+      : a_(a), b_(b), r_lease_(workspace->Borrow(a.rows())) {}
 
   T Value(const linalg::Vector<T>& x) const {
-    const linalg::Vector<T> ax = MatVec(a_, x);
+    linalg::Vector<T>& ax = *r_lease_;
+    MatVecInto(a_, x, &ax);
     T acc(0);
     for (std::size_t i = 0; i < ax.size(); ++i) {
       const T r = ax[i] - b_[i];
@@ -48,10 +54,10 @@ class LsqObjective {
   }
 
   void Gradient(const linalg::Vector<T>& x, linalg::Vector<T>* g) const {
-    linalg::Vector<T> r = MatVec(a_, x);
+    linalg::Vector<T>& r = *r_lease_;
+    MatVecInto(a_, x, &r);
     for (std::size_t i = 0; i < r.size(); ++i) r[i] -= b_[i];
-    linalg::Vector<T> grad = MatTVec(a_, r);
-    for (std::size_t j = 0; j < grad.size(); ++j) (*g)[j] = grad[j];
+    MatTVecInto(a_, r, g);
   }
 
   void SetPenaltyScale(double) {}
@@ -59,25 +65,32 @@ class LsqObjective {
  private:
   const linalg::Matrix<T>& a_;
   const linalg::Vector<T>& b_;
+  // A·x / residual scratch (rows-sized), shared by Value and Gradient and
+  // held for the objective's lifetime; both methods are const, it is not.
+  mutable typename opt::Workspace<T>::Lease r_lease_;
 };
 
 }  // namespace detail
 
 template <class T>
-linalg::Vector<double> SolveLsqSgd(const LsqProblem& problem, const opt::SgdOptions& options) {
+linalg::Vector<double> SolveLsqSgd(const LsqProblem& problem, const opt::SgdOptions& options,
+                                   opt::Workspace<T>* workspace = nullptr) {
+  opt::Workspace<T>& ws =
+      workspace != nullptr ? *workspace : opt::ThreadWorkspace<T>();
   const linalg::Matrix<T> a = linalg::Cast<T>(problem.a);
   const linalg::Vector<T> b = linalg::Cast<T>(problem.b);
-  detail::LsqObjective<T> objective(a, b);
+  detail::LsqObjective<T> objective(a, b, &ws);
   linalg::Vector<T> x(problem.a.cols());
-  x = opt::MinimizeSgd(objective, std::move(x), options);
+  x = opt::MinimizeSgd(objective, std::move(x), options, &ws);
   return linalg::ToDouble(x);
 }
 
 template <class T>
-opt::CgResult SolveLsqCg(const LsqProblem& problem, const opt::CgOptions& options) {
+opt::CgResult SolveLsqCg(const LsqProblem& problem, const opt::CgOptions& options,
+                         opt::Workspace<T>* workspace = nullptr) {
   const linalg::Matrix<T> a = linalg::Cast<T>(problem.a);
   const linalg::Vector<T> b = linalg::Cast<T>(problem.b);
-  return opt::SolveCgls(a, b, options);
+  return opt::SolveCgls(a, b, options, workspace);
 }
 
 }  // namespace robustify::apps

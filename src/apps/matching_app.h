@@ -18,6 +18,7 @@
 #include "linalg/vector.h"
 #include "opt/lp.h"
 #include "opt/sgd.h"
+#include "opt/workspace.h"
 
 namespace robustify::apps {
 
@@ -70,14 +71,17 @@ opt::PenalizedLp<T> BuildMatchingLp(const graph::BipartiteGraph& g,
 }  // namespace detail
 
 template <class T>
-MatchingResult RobustMatching(const graph::BipartiteGraph& g, const LpSolveConfig& config) {
+MatchingResult RobustMatching(const graph::BipartiteGraph& g, const LpSolveConfig& config,
+                              opt::Workspace<T>* workspace = nullptr) {
+  opt::Workspace<T>& ws =
+      workspace != nullptr ? *workspace : opt::ThreadWorkspace<T>();
   opt::PenalizedLp<T> lp = detail::BuildMatchingLp<T>(g, config);
   opt::SgdOptions options = config.sgd;
   if (config.anneal && options.phases.empty()) {
     options.phases = core::AnnealedPenalty(config.anneal_phases, config.anneal_factor);
   }
   linalg::Vector<T> x(g.edges.size(), T(0.5));
-  x = opt::MinimizeSgd(lp, std::move(x), options);
+  x = opt::MinimizeSgd(lp, std::move(x), options, &ws);
 
   MatchingResult result;
   result.valid = AllFinite(x);

@@ -14,6 +14,7 @@
 #include "linalg/vector.h"
 #include "opt/lp.h"
 #include "opt/sgd.h"
+#include "opt/workspace.h"
 
 namespace robustify::apps {
 
@@ -24,7 +25,10 @@ struct FlowResult {
 };
 
 template <class T>
-FlowResult RobustMaxFlow(const graph::FlowNetwork& net, const MaxFlowConfig& config) {
+FlowResult RobustMaxFlow(const graph::FlowNetwork& net, const MaxFlowConfig& config,
+                         opt::Workspace<T>* workspace = nullptr) {
+  opt::Workspace<T>& ws =
+      workspace != nullptr ? *workspace : opt::ThreadWorkspace<T>();
   const std::size_t e = net.edges.size();
   std::vector<double> cost(e, 0.0);
   std::vector<double> lower(e, 0.0);
@@ -54,7 +58,7 @@ FlowResult RobustMaxFlow(const graph::FlowNetwork& net, const MaxFlowConfig& con
     options.phases = core::AnnealedPenalty(config.lp.anneal_phases, config.lp.anneal_factor);
   }
   linalg::Vector<T> f(e);
-  f = opt::MinimizeSgd(lp, std::move(f), options);
+  f = opt::MinimizeSgd(lp, std::move(f), options, &ws);
   lp.ClampToBox(&f);
 
   FlowResult result;

@@ -13,6 +13,7 @@
 #include "linalg/scalar.h"
 #include "linalg/vector.h"
 #include "opt/sgd.h"
+#include "opt/workspace.h"
 
 namespace robustify::apps {
 
@@ -92,13 +93,16 @@ class SvmObjective {
 }  // namespace detail
 
 template <class T>
-SvmResult TrainSvm(const SvmDataset& data, double lambda, const opt::SgdOptions& options) {
+SvmResult TrainSvm(const SvmDataset& data, double lambda, const opt::SgdOptions& options,
+                   opt::Workspace<T>* workspace = nullptr) {
   const std::size_t n = data.x.rows();
   const std::size_t dim = data.x.cols();
+  opt::Workspace<T>& ws =
+      workspace != nullptr ? *workspace : opt::ThreadWorkspace<T>();
   const linalg::Matrix<T> x = linalg::Cast<T>(data.x);
   detail::SvmObjective<T> objective(x, data.y, lambda);
   linalg::Vector<T> v(dim + 1);
-  v = opt::MinimizeSgd(objective, std::move(v), options);
+  v = opt::MinimizeSgd(objective, std::move(v), options, &ws);
 
   SvmResult result;
   result.w = linalg::Vector<double>(dim);

@@ -21,6 +21,10 @@ struct FaultEnvironment {
   double fault_rate = 0.0;  // probability a given FP op is corrupted
   std::uint64_t seed = 1;   // drives the injector LFSR (and trial inputs)
   faulty::BitModel bit_model = faulty::BitModel::kBimodal;
+  // kAuto defers to ROBUSTIFY_INJECTOR, else skip-ahead; set explicitly to
+  // pin a trial to one implementation (strategy A/B tests, the rate-0
+  // golden-CSV determinism test).
+  faulty::FaultInjector::Strategy strategy = faulty::FaultInjector::Strategy::kAuto;
 };
 
 namespace detail {
@@ -48,7 +52,7 @@ auto WithFaultyFpu(const FaultEnvironment& env, Fn&& fn,
   // per trial was measurable across a sweep's thousands of trials).
   faulty::FaultInjector injector(env.fault_rate,
                                  faulty::SharedBitDistribution(env.bit_model),
-                                 env.seed);
+                                 env.seed, env.strategy);
   if constexpr (std::is_void_v<decltype(fn())>) {
     {
       detail::FaultScope scope(&injector);

@@ -1,7 +1,8 @@
 #include "faulty/bit_distribution.h"
 
 #include <cmath>
-#include <vector>
+
+#include "faulty/alias_table.h"
 
 namespace robustify::faulty {
 
@@ -68,36 +69,8 @@ void BitDistribution::Normalize() {
 }
 
 void BitDistribution::BuildAliasTable() {
-  // Vose's stable construction.  scaled[i] = p_i * 64; slots below 1 are
-  // topped up by donors above 1, so every slot splits between at most two
-  // outcomes: itself (with probability scaled[i] after top-up) and alias[i].
-  constexpr double kSlotScale = static_cast<double>(1ull << 58);
-  std::array<double, kWordBits> scaled{};
-  std::vector<int> small, large;
-  for (int b = 0; b < kWordBits; ++b) {
-    scaled[static_cast<std::size_t>(b)] = weights_[static_cast<std::size_t>(b)] * kWordBits;
-    (scaled[static_cast<std::size_t>(b)] < 1.0 ? small : large).push_back(b);
-  }
-  while (!small.empty() && !large.empty()) {
-    const int s = small.back();
-    small.pop_back();
-    const int l = large.back();
-    large.pop_back();
-    stay_threshold_[static_cast<std::size_t>(s)] = static_cast<std::uint64_t>(
-        scaled[static_cast<std::size_t>(s)] * kSlotScale);
-    alias_[static_cast<std::size_t>(s)] = static_cast<std::uint8_t>(l);
-    scaled[static_cast<std::size_t>(l)] -= 1.0 - scaled[static_cast<std::size_t>(s)];
-    (scaled[static_cast<std::size_t>(l)] < 1.0 ? small : large).push_back(l);
-  }
-  // Leftovers are exactly 1 up to rounding: the slot always returns itself.
-  for (const int b : large) {
-    stay_threshold_[static_cast<std::size_t>(b)] = ~0ull;
-    alias_[static_cast<std::size_t>(b)] = static_cast<std::uint8_t>(b);
-  }
-  for (const int b : small) {
-    stay_threshold_[static_cast<std::size_t>(b)] = ~0ull;
-    alias_[static_cast<std::size_t>(b)] = static_cast<std::uint8_t>(b);
-  }
+  BuildWalkerAliasTable(weights_.data(), kWordBits, stay_threshold_.data(),
+                        alias_.data());
 }
 
 const BitDistribution& SharedBitDistribution(BitModel model) {

@@ -1,6 +1,5 @@
 #include "faulty/fault_injector.h"
 
-#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -8,7 +7,8 @@
 namespace robustify::faulty {
 
 // ROBUSTIFY_INJECTOR=skip|perop forces a strategy for every kAuto injector
-// (measurement and A/B testing knob).  Read once per process.
+// (measurement and A/B testing knob; the perop CI leg keeps the oracle from
+// rotting).  Read once per process.
 FaultInjector::Strategy EnvInjectorStrategy() {
   static const FaultInjector::Strategy cached = [] {
     const char* env = std::getenv("ROBUSTIFY_INJECTOR");
@@ -36,14 +36,13 @@ FaultInjector::FaultInjector(double fault_rate, const BitDistribution& bits,
   } else {
     threshold_ = static_cast<std::uint64_t>(fault_rate * 18446744073709551616.0);
     if (threshold_ == 0) threshold_ = 1;
-    inv_log1m_rate_ = 1.0 / std::log1p(-fault_rate);
+    gaps_ = &GeometricGapSampler::Shared(fault_rate);
   }
 
   if (strategy == Strategy::kAuto) strategy = EnvInjectorStrategy();
-  if (strategy == Strategy::kAuto) {
-    strategy = fault_rate <= kSkipAheadMaxRate ? Strategy::kSkipAhead
-                                               : Strategy::kPerOp;
-  }
+  // Skip-ahead covers the whole rate range (the gap sampler's alias table
+  // keeps the per-fault cost flat even at rate 0.5); per-op exists only as
+  // the explicitly requested reference oracle.
   per_op_ = strategy == Strategy::kPerOp;
 
   if (per_op_) {
@@ -61,18 +60,9 @@ FaultInjector::FaultInjector(double fault_rate, const BitDistribution& bits,
 }
 
 // Number of clean ops before the next fault: K ~ Geometric(rate),
-// P(K = k) = rate * (1 - rate)^k, via inverse CDF from one LFSR draw.
-std::uint64_t FaultInjector::SampleGap() {
-  // u in (0, 1]: 53 uniform bits, shifted into the open-at-zero interval so
-  // log(u) is finite.
-  const double u =
-      (static_cast<double>(rng_.next() >> 11) + 1.0) * 0x1.0p-53;
-  const double gap = std::log(u) * inv_log1m_rate_;  // >= 0
-  // Casting a double >= 2^64 is undefined; clamp far gaps to "never" (the
-  // scheduled_ arithmetic wraps mod 2^64, which keeps flop accounting exact).
-  if (!(gap < 18446744073709549568.0)) return kNever;
-  return static_cast<std::uint64_t>(gap);
-}
+// P(K = k) = rate * (1 - rate)^k, drawn from the shared per-rate sampler
+// (alias table at high rates, inverse CDF at low ones — see gap_sampler.h).
+std::uint64_t FaultInjector::SampleGap() { return gaps_->Sample(rng_); }
 
 double FaultInjector::Corrupt(double value) {
   ++faults_;
@@ -92,6 +82,11 @@ double FaultInjector::FaultPath(double clean_result) {
     countdown_ = kNever;
     return clean_result;
   }
+  if (threshold_ == kNever) {
+    // Rate 1: every op faults; no gap to sample (gaps_ is null here).
+    scheduled_ += 1;
+    return Corrupt(clean_result);
+  }
   const std::uint64_t gap = SampleGap();
   scheduled_ += gap + 1;  // this op plus the next clean stretch
   countdown_ = gap;
@@ -102,6 +97,11 @@ bool FaultInjector::FaultPathComparison(bool clean_result) {
   if (threshold_ == 0) {
     countdown_ = kNever;
     return clean_result;
+  }
+  if (threshold_ == kNever) {
+    scheduled_ += 1;
+    ++faults_;
+    return !clean_result;
   }
   const std::uint64_t gap = SampleGap();
   scheduled_ += gap + 1;

@@ -9,23 +9,25 @@
 //
 // Hot path (geometric skip-ahead): instead of one Bernoulli RNG draw per
 // op, the injector samples the number of clean ops until the next fault
-// once — inverse-CDF of the geometric distribution from a single LFSR
-// draw — and Execute() is then a single counter decrement + compare until
-// the countdown hits zero.  At realistic fault rates (1e-7..1e-3) this
-// removes essentially all RNG work from the per-op path.  Above
-// kSkipAheadMaxRate a fault lands every few ops and the log() in the gap
-// sampler costs more than one cheap draw per op, so the auto strategy falls
-// back to the per-op Bernoulli reference.  Flop accounting stays exact in
-// both modes (skip-ahead derives it from the scheduled-gap arithmetic, so
-// the hot path does not even touch a counter), and a fixed seed + strategy
-// still reproduces the trial bit-for-bit.  Note: the *fault stream* for a
-// given seed differs from the original per-op implementation (PR 1) — the
-// two strategies are statistically, not bitwise, equivalent.
+// once per *fault* — from a shared per-rate GeometricGapSampler — and
+// Execute() is then a single counter decrement + compare until the
+// countdown hits zero.  The gap sampler's alias-table form keeps the
+// per-fault cost at one draw + one probe even when a fault lands every few
+// ops, so skip-ahead is the single strategy for the whole rate range
+// (1e-7 .. 0.5 and beyond); the original per-op Bernoulli implementation
+// survives only as the statistical test oracle, selectable explicitly or
+// via ROBUSTIFY_INJECTOR=perop.  Flop accounting stays exact in both modes
+// (skip-ahead derives it from the scheduled-gap arithmetic, so the hot path
+// does not even touch a counter), and a fixed seed + strategy still
+// reproduces the trial bit-for-bit.  Note: the *fault stream* for a given
+// seed differs between the strategies — they are statistically, not
+// bitwise, equivalent (tests/test_statistical.cpp holds them to that).
 #pragma once
 
 #include <cstdint>
 
 #include "faulty/bit_distribution.h"
+#include "faulty/gap_sampler.h"
 #include "faulty/lfsr.h"
 
 // The countdown branch is taken for all but ~rate of the ops; telling the
@@ -47,19 +49,15 @@ struct ContextStats {
 class FaultInjector {
  public:
   enum class Strategy {
-    kAuto,       // skip-ahead at low rates, per-op above kSkipAheadMaxRate
-    kSkipAhead,  // geometric countdown
-    kPerOp,      // original per-op Bernoulli draw (reference implementation)
+    kAuto,       // skip-ahead, unless ROBUSTIFY_INJECTOR overrides
+    kSkipAhead,  // geometric countdown (the production strategy, all rates)
+    kPerOp,      // per-op Bernoulli draw (reference oracle for the tests)
   };
-
-  // Measured crossover: above ~1/16 faults per op the geometric gap sampler
-  // (one log() per fault) is slower than one LFSR draw per op.
-  static constexpr double kSkipAheadMaxRate = 0.0625;
 
   // `bits` is captured by pointer and must outlive the injector; use
   // SharedBitDistribution() for the built-in models.  kAuto resolves via
   // the ROBUSTIFY_INJECTOR environment variable ("skip" or "perop") when
-  // set, else by fault rate.
+  // set, else to kSkipAhead.
   FaultInjector(double fault_rate, const BitDistribution& bits, std::uint64_t seed,
                 Strategy strategy = Strategy::kAuto);
   // A temporary would dangle (only a pointer is kept); make it a compile
@@ -124,13 +122,13 @@ class FaultInjector {
   double Corrupt(double value);
 
   const BitDistribution* bits_;
+  const GeometricGapSampler* gaps_ = nullptr;  // null at rates 0 and 1
   Lfsr rng_;
   std::uint64_t countdown_ = 0;   // clean ops left before the next fault
   std::uint64_t scheduled_ = 0;   // cumulative ops covered by sampled gaps
   std::uint64_t per_op_ops_ = 0;  // per-op mode: explicit op counter
   std::uint64_t faults_ = 0;
   std::uint64_t threshold_ = 0;   // fault_rate scaled to the uint64 range
-  double inv_log1m_rate_ = 0.0;   // 1 / ln(1 - rate); 0 handled separately
   bool per_op_ = false;
 };
 

@@ -1,5 +1,12 @@
 // Trial primitives: run one robustness experiment many times at a fixed
 // fault environment and summarize success rate and quality metrics.
+//
+// Scratch memory: the trial is the harness's unit of work, and each sweep
+// worker thread runs trials back to back, so hot-path scratch is owned at
+// the thread level — app kernels called inside a TrialFn draw their solver
+// buffers from opt::ThreadWorkspace<T>() (see opt/workspace.h), which stays
+// warm across every trial scheduled onto that worker.  After the first
+// trial on a thread, a whole SGD/CGLS solve performs no heap allocation.
 #pragma once
 
 #include <cstdint>

@@ -30,16 +30,43 @@ class Matrix {
   std::vector<T> data_;
 };
 
+// y = A x into preallocated storage (resized without freeing): the
+// allocation-free form the solver inner loops and objectives run on.
+// Precondition: y aliases neither a nor x (restrict is asserted below).
+template <class T>
+void MatVecInto(const Matrix<T>& a, const Vector<T>& x, Vector<T>* y) {
+  y->resize(a.rows());
+  const std::size_t rows = a.rows(), cols = a.cols();
+  const T* ROBUSTIFY_RESTRICT xp = x.data();
+  T* ROBUSTIFY_RESTRICT yp = y->data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    T acc(0);
+    const T* ROBUSTIFY_RESTRICT row = a.row(i);
+    for (std::size_t j = 0; j < cols; ++j) acc += row[j] * xp[j];
+    yp[i] = acc;
+  }
+}
+
+// y = A^T x into preallocated storage (zeroed first).  Same no-alias
+// precondition as MatVecInto.
+template <class T>
+void MatTVecInto(const Matrix<T>& a, const Vector<T>& x, Vector<T>* y) {
+  y->resize(a.cols());
+  const std::size_t rows = a.rows(), cols = a.cols();
+  const T* ROBUSTIFY_RESTRICT xp = x.data();
+  T* ROBUSTIFY_RESTRICT yp = y->data();
+  for (std::size_t j = 0; j < cols; ++j) yp[j] = T(0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const T* ROBUSTIFY_RESTRICT row = a.row(i);
+    for (std::size_t j = 0; j < cols; ++j) yp[j] += row[j] * xp[i];
+  }
+}
+
 // y = A x
 template <class T>
 Vector<T> MatVec(const Matrix<T>& a, const Vector<T>& x) {
   Vector<T> y(a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    T acc(0);
-    const T* row = a.row(i);
-    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
-    y[i] = acc;
-  }
+  MatVecInto(a, x, &y);
   return y;
 }
 
@@ -47,10 +74,7 @@ Vector<T> MatVec(const Matrix<T>& a, const Vector<T>& x) {
 template <class T>
 Vector<T> MatTVec(const Matrix<T>& a, const Vector<T>& x) {
   Vector<T> y(a.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const T* row = a.row(i);
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * x[i];
-  }
+  MatTVecInto(a, x, &y);
   return y;
 }
 

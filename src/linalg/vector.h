@@ -12,6 +12,16 @@
 
 #include "linalg/scalar.h"
 
+// No-alias annotation for hot loops over pooled scratch buffers.  A buffer
+// from opt::Workspace really is distinct from every other live vector, but
+// unlike a fresh operator-new block the compiler cannot prove that; without
+// the annotation the reuse costs ~25% in the gradient kernels.
+#if defined(__GNUC__) || defined(__clang__)
+#define ROBUSTIFY_RESTRICT __restrict__
+#else
+#define ROBUSTIFY_RESTRICT
+#endif
+
 namespace robustify::linalg {
 
 template <class T>
@@ -25,6 +35,18 @@ class Vector {
 
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
+
+  // Resize-without-free: growing past capacity reallocates, but shrinking
+  // (or regrowing within capacity) never returns memory to the allocator —
+  // the contract opt::Workspace relies on to keep hot paths allocation-free
+  // after warm-up.  New elements are value-initialized to T(0).
+  void resize(std::size_t n) { data_.resize(n, T(0)); }
+
+  // Reliable element-wise copy into existing (same-capacity) storage.
+  void CopyFrom(const Vector<T>& other) {
+    data_.resize(other.data_.size(), T(0));
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] = other.data_[i];
+  }
 
   T& operator[](std::size_t i) { return data_[i]; }
   const T& operator[](std::size_t i) const { return data_[i]; }

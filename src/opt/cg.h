@@ -2,6 +2,11 @@
 // without forming A^T A.  The periodic restart recomputes the residual from
 // scratch, which is what lets the method shed fault-induced drift in its
 // recurrences — the paper's key iterative-refinement insight for Figure 6.6.
+//
+// All recurrence vectors are workspace scratch and every matrix-vector
+// product runs in place, so a solve on a warmed workspace performs no heap
+// allocation (the SolveCglsInto form is fully allocation-free; the
+// by-value SolveCgls wrapper allocates only its returned CgResult).
 #pragma once
 
 #include <cmath>
@@ -9,6 +14,7 @@
 
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
+#include "opt/workspace.h"
 
 namespace robustify::opt {
 
@@ -23,15 +29,34 @@ struct CgResult {
   double residual_norm = 0.0;
 };
 
+// Solves into `result`, reusing its x storage (resize-without-free): calling
+// again with the same result object and workspace allocates nothing.
 template <class T>
-CgResult SolveCgls(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
-                   const CgOptions& options) {
+void SolveCglsInto(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
+                   const CgOptions& options, Workspace<T>* workspace,
+                   CgResult* result) {
   using linalg::AsDouble;
+  Workspace<T>& ws = workspace != nullptr ? *workspace : ThreadWorkspace<T>();
+  const std::size_t m = a.rows();
   const std::size_t n = a.cols();
-  linalg::Vector<T> x(n);
-  linalg::Vector<T> r = b;                 // b - A x with x = 0
-  linalg::Vector<T> s = MatTVec(a, r);     // A^T r
-  linalg::Vector<T> p = s;
+
+  typename Workspace<T>::Lease x_lease = ws.Borrow(n);
+  typename Workspace<T>::Lease r_lease = ws.Borrow(m);
+  typename Workspace<T>::Lease s_lease = ws.Borrow(n);
+  typename Workspace<T>::Lease p_lease = ws.Borrow(n);
+  typename Workspace<T>::Lease q_lease = ws.Borrow(m);
+  typename Workspace<T>::Lease ax_lease = ws.Borrow(m);
+  linalg::Vector<T>& x = *x_lease;
+  linalg::Vector<T>& r = *r_lease;
+  linalg::Vector<T>& s = *s_lease;
+  linalg::Vector<T>& p = *p_lease;
+  linalg::Vector<T>& q = *q_lease;
+  linalg::Vector<T>& ax = *ax_lease;
+
+  for (std::size_t j = 0; j < n; ++j) x[j] = T(0);
+  r.CopyFrom(b);                // b - A x with x = 0
+  MatTVecInto(a, r, &s);        // A^T r
+  p.CopyFrom(s);
   T gamma = NormSquared(s);
 
   int performed = 0;
@@ -42,17 +67,17 @@ CgResult SolveCgls(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
       for (std::size_t j = 0; j < n; ++j) {
         if (!std::isfinite(AsDouble(x[j]))) x[j] = T(0);
       }
-      r = b;
-      const linalg::Vector<T> ax = MatVec(a, x);
+      r.CopyFrom(b);
+      MatVecInto(a, x, &ax);
       for (std::size_t i = 0; i < r.size(); ++i) r[i] -= ax[i];
-      s = MatTVec(a, r);
-      p = s;
+      MatTVecInto(a, r, &s);
+      p.CopyFrom(s);
       gamma = NormSquared(s);
       need_restart = false;
     }
     if (AsDouble(gamma) == 0.0) break;  // exactly converged (reliable readout)
 
-    const linalg::Vector<T> q = MatVec(a, p);
+    MatVecInto(a, p, &q);
     const T qq = NormSquared(q);
     const T alpha = gamma / qq;
     if (!std::isfinite(AsDouble(alpha))) {
@@ -61,7 +86,7 @@ CgResult SolveCgls(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
     }
     for (std::size_t j = 0; j < n; ++j) x[j] += alpha * p[j];
     for (std::size_t i = 0; i < r.size(); ++i) r[i] -= alpha * q[i];
-    s = MatTVec(a, r);
+    MatTVecInto(a, r, &s);
     const T gamma_new = NormSquared(s);
     const T beta = gamma_new / gamma;
     if (!std::isfinite(AsDouble(beta))) {
@@ -76,14 +101,21 @@ CgResult SolveCgls(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
   for (std::size_t j = 0; j < n; ++j) {
     if (!std::isfinite(AsDouble(x[j]))) x[j] = T(0);
   }
-  linalg::Vector<T> final_r = b;
-  const linalg::Vector<T> ax = MatVec(a, x);
-  for (std::size_t i = 0; i < final_r.size(); ++i) final_r[i] -= ax[i];
+  r.CopyFrom(b);
+  MatVecInto(a, x, &ax);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] -= ax[i];
 
+  result->x.resize(n);
+  for (std::size_t j = 0; j < n; ++j) result->x[j] = AsDouble(x[j]);
+  result->iterations = performed;
+  result->residual_norm = AsDouble(Norm(r));
+}
+
+template <class T>
+CgResult SolveCgls(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
+                   const CgOptions& options, Workspace<T>* workspace = nullptr) {
   CgResult result;
-  result.x = ToDouble(x);
-  result.iterations = performed;
-  result.residual_norm = AsDouble(Norm(final_r));
+  SolveCglsInto(a, b, options, workspace, &result);
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include "core/phases.h"
 #include "linalg/scalar.h"
 #include "linalg/vector.h"
+#include "opt/workspace.h"
 
 namespace robustify::opt {
 
@@ -82,38 +83,61 @@ VotedReadout VotedValue(const Objective& objective, const linalg::Vector<T>& x) 
 //   T Value(const linalg::Vector<T>& x) const;
 //   void Gradient(const linalg::Vector<T>& x, linalg::Vector<T>* g) const;
 //   void SetPenaltyScale(double s);   // no-op for unconstrained objectives
+//
+// All solver state lives in `workspace` scratch buffers (the caller's
+// per-thread pool by default), so from the second solve on a warmed
+// workspace the whole descent — engine and objective evaluations — runs
+// without heap allocation (tests/test_allocation.cpp).
 template <class T, class Objective>
 linalg::Vector<T> MinimizeSgd(Objective& objective, linalg::Vector<T> x,
-                              const SgdOptions& options) {
+                              const SgdOptions& options,
+                              Workspace<T>* workspace = nullptr) {
   using linalg::AsDouble;
+  Workspace<T>& ws = workspace != nullptr ? *workspace : ThreadWorkspace<T>();
   const std::size_t n = x.size();
   const double tau = options.scaling_time_constant > 0.0
                          ? options.scaling_time_constant
                          : std::max(1.0, options.iterations / 10.0);
-  core::PhaseSchedule schedule = options.phases;
-  if (schedule.empty()) schedule.push_back(core::Phase{1.0, 1.0, 1.0});
+  // Read the schedule in place (copying it was one allocation per solve);
+  // an empty schedule means one uniform phase.
+  static constexpr core::Phase kUniformPhase{1.0, 1.0, 1.0};
+  const core::Phase* schedule =
+      options.phases.empty() ? &kUniformPhase : options.phases.data();
+  const std::size_t phase_count = options.phases.empty() ? 1 : options.phases.size();
 
-  linalg::Vector<T> gradient(n);
-  linalg::Vector<T> velocity(n);
-  linalg::Vector<T> candidate(n);
-  linalg::Vector<T> vote2(options.gradient_votes >= 3 ? n : 0);
-  linalg::Vector<T> vote3(options.gradient_votes >= 3 ? n : 0);
+  const bool votes = options.gradient_votes >= 3;
+  typename Workspace<T>::Lease gradient_lease = ws.Borrow(n);
+  typename Workspace<T>::Lease velocity_lease = ws.Borrow(n);
+  typename Workspace<T>::Lease candidate_lease = ws.Borrow(n);
+  typename Workspace<T>::Lease vote2_lease = ws.Borrow(votes ? n : 0);
+  typename Workspace<T>::Lease vote3_lease = ws.Borrow(votes ? n : 0);
+  linalg::Vector<T>& gradient = *gradient_lease;
+  linalg::Vector<T>& velocity = *velocity_lease;
+  linalg::Vector<T>& candidate = *candidate_lease;
+  linalg::Vector<T>& vote2 = *vote2_lease;
+  linalg::Vector<T>& vote3 = *vote3_lease;
+  for (std::size_t j = 0; j < n; ++j) velocity[j] = T(0);  // momentum state
 
   // Polyak tail averaging: accumulated by the reliable controller, it
   // concentrates the stationary fault-noise distribution around the optimum.
+  // The sums are stored in a T buffer but accumulated in plain double on
+  // the readouts — reliable arithmetic, never routed through the injector.
   const int average_from =
       options.average_tail > 0.0
           ? options.iterations - static_cast<int>(options.average_tail * options.iterations)
           : options.iterations + 1;
-  std::vector<double> average_sum(options.average_tail > 0.0 ? n : 0, 0.0);
+  const bool averaging = options.average_tail > 0.0;
+  typename Workspace<T>::Lease average_lease = ws.Borrow(averaging ? n : 0);
+  linalg::Vector<T>& average_sum = *average_lease;
+  for (std::size_t j = 0; j < average_sum.size(); ++j) average_sum[j] = T(0);
   int averaged_iterates = 0;
 
   int t = 0;
-  for (std::size_t phase_idx = 0; phase_idx < schedule.size(); ++phase_idx) {
+  for (std::size_t phase_idx = 0; phase_idx < phase_count; ++phase_idx) {
     const core::Phase& phase = schedule[phase_idx];
     objective.SetPenaltyScale(phase.penalty_scale);
     int phase_iters = static_cast<int>(phase.fraction * options.iterations + 0.5);
-    if (phase_idx + 1 == schedule.size()) phase_iters = options.iterations - t;
+    if (phase_idx + 1 == phase_count) phase_iters = options.iterations - t;
 
     // AS tracks the current objective value; re-evaluate after the penalty
     // weight changes so accept/reject compares like with like.
@@ -231,7 +255,10 @@ linalg::Vector<T> MinimizeSgd(Objective& objective, linalg::Vector<T> x,
         for (std::size_t j = 0; j < n; ++j) x[j] = candidate[j];
       }
       if (t >= average_from) {
-        for (std::size_t j = 0; j < n; ++j) average_sum[j] += AsDouble(x[j]);
+        for (std::size_t j = 0; j < n; ++j) {
+          // Reliable accumulate: double math on readouts, stored back as T.
+          average_sum[j] = T(AsDouble(average_sum[j]) + AsDouble(x[j]));
+        }
         ++averaged_iterates;
       }
     }
@@ -239,7 +266,7 @@ linalg::Vector<T> MinimizeSgd(Objective& objective, linalg::Vector<T> x,
   objective.SetPenaltyScale(1.0);
   if (averaged_iterates > 0) {
     for (std::size_t j = 0; j < n; ++j) {
-      x[j] = T(average_sum[j] / averaged_iterates);
+      x[j] = T(AsDouble(average_sum[j]) / averaged_iterates);
     }
   }
   return x;

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "core/fault_env.h"
 #include "faulty/bit_distribution.h"
@@ -198,14 +199,17 @@ TEST(FaultInjector, DeterministicForFixedSeedAndStrategy) {
   }
 }
 
-TEST(FaultInjector, AutoStrategySelectsByRate) {
-  if (std::getenv("ROBUSTIFY_INJECTOR") != nullptr) {
-    GTEST_SKIP() << "ROBUSTIFY_INJECTOR overrides the kAuto rate heuristic";
+TEST(FaultInjector, AutoStrategyIsSkipAheadAtEveryRate) {
+  if (std::getenv("ROBUSTIFY_INJECTOR") != nullptr &&
+      std::string(std::getenv("ROBUSTIFY_INJECTOR")) == "perop") {
+    GTEST_SKIP() << "ROBUSTIFY_INJECTOR=perop overrides kAuto";
   }
-  const FaultInjector low(0.001, SharedBitDistribution(BitModel::kBimodal), 1);
-  EXPECT_EQ(low.strategy(), Strategy::kSkipAhead);
-  const FaultInjector high(0.5, SharedBitDistribution(BitModel::kBimodal), 1);
-  EXPECT_EQ(high.strategy(), Strategy::kPerOp);
+  // The gap-table sampler removed the high-rate per-op fallback: one
+  // strategy covers the whole range, per-op is oracle-only.
+  for (const double rate : {1e-7, 0.001, 0.1, 0.5}) {
+    const FaultInjector inj(rate, SharedBitDistribution(BitModel::kBimodal), 1);
+    EXPECT_EQ(inj.strategy(), Strategy::kSkipAhead) << "rate " << rate;
+  }
 }
 
 TEST(FaultInjector, CorruptionFlipsExactlyOneBit) {

@@ -1,10 +1,18 @@
-// Harness: trials, sweeps, table extraction, CSV writing.
+// Harness: trials, sweeps, table extraction, CSV writing, and the
+// golden-CSV determinism guarantees (thread-count and injector-strategy
+// invariance of sweep output).
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
+#include <random>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "apps/configs.h"
+#include "apps/sort_app.h"
+#include "core/fault_env.h"
 #include "harness/csv.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
@@ -99,6 +107,87 @@ TEST(Csv, WritesQuotedHeadersAndThrowsOnBadPath) {
 
   EXPECT_THROW(harness::WriteSweepCsv("/nonexistent_dir_zzz/x.csv", series),
                std::runtime_error);
+}
+
+// --- golden-CSV determinism -------------------------------------------------
+
+// A real kernel under real fault injection, pinned to one injector
+// strategy: robust sort on a seed-derived 4-element input.
+harness::TrialFn SortTrial(faulty::FaultInjector::Strategy strategy) {
+  return [strategy](const core::FaultEnvironment& base) {
+    core::FaultEnvironment env = base;
+    env.strategy = strategy;
+    std::mt19937_64 rng(env.seed * 7919);
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    std::vector<double> input(4);
+    for (double& v : input) v = dist(rng);
+    apps::LpSolveConfig config = apps::SortSgdAsSqs();
+    config.sgd.iterations = 150;  // full descent shape, test-sized budget
+    harness::TrialOutcome out;
+    const apps::RobustSortResult r = core::WithFaultyFpu(
+        env, [&] { return apps::RobustSort<faulty::Real>(input, config); },
+        &out.fpu_stats);
+    out.success = r.valid && apps::IsSortedCopyOf(r.output, input);
+    out.metric = static_cast<double>(out.fpu_stats.faults_injected);
+    return out;
+  };
+}
+
+std::string SweepCsvBytes(const harness::SweepConfig& config,
+                          const std::vector<harness::NamedTrial>& trials,
+                          const std::string& tag) {
+  const auto series = harness::RunFaultRateSweep(config, trials);
+  const std::string path = ::testing::TempDir() + "/robustify_golden_" + tag + ".csv";
+  harness::WriteSweepCsv(path, series);
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(path.c_str());
+  return buffer.str();
+}
+
+// The sweep contract: output is a pure function of (config, trial fns) —
+// never of the worker count.  Byte-identical CSVs for 1, 2, and 8 threads,
+// at rate 0 and under heavy fault injection alike.
+TEST(Sweep, GoldenCsvByteIdenticalAcrossThreadCounts) {
+  using Strategy = faulty::FaultInjector::Strategy;
+  harness::SweepConfig config;
+  config.fault_rates = {0.0, 0.05};
+  config.trials = 4;
+  config.base_seed = 33;
+  const std::vector<harness::NamedTrial> trials = {
+      {"SGD+AS,SQS", SortTrial(Strategy::kAuto)}};
+
+  config.threads = 1;
+  const std::string one = SweepCsvBytes(config, trials, "t1");
+  config.threads = 2;
+  const std::string two = SweepCsvBytes(config, trials, "t2");
+  config.threads = 8;
+  const std::string eight = SweepCsvBytes(config, trials, "t8");
+
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+// At rate 0 no strategy ever samples a gap or flips a bit, so the injector
+// implementation must be invisible: skip-ahead and the per-op oracle have
+// to produce byte-identical sweep output.
+TEST(Sweep, GoldenCsvByteIdenticalAcrossStrategiesAtRateZero) {
+  using Strategy = faulty::FaultInjector::Strategy;
+  harness::SweepConfig config;
+  config.fault_rates = {0.0};
+  config.trials = 3;
+  config.base_seed = 44;
+  config.threads = 1;
+
+  const std::string skip = SweepCsvBytes(
+      config, {{"SGD+AS,SQS", SortTrial(Strategy::kSkipAhead)}}, "skip");
+  const std::string perop = SweepCsvBytes(
+      config, {{"SGD+AS,SQS", SortTrial(Strategy::kPerOp)}}, "perop");
+
+  EXPECT_FALSE(skip.empty());
+  EXPECT_EQ(skip, perop);
 }
 
 }  // namespace
