@@ -77,6 +77,17 @@ class BenchContext {
         report_.injector_strategy = "auto";
         break;
     }
+    switch (faulty::EnvEngine()) {
+      case faulty::Engine::kBlock:
+        report_.engine = "block";
+        break;
+      case faulty::Engine::kScalar:
+        report_.engine = "scalar";
+        break;
+      default:
+        report_.engine = "auto";  // resolves to block at dispatch time
+        break;
+    }
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg.rfind("--trials=", 0) == 0) {

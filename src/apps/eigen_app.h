@@ -59,16 +59,16 @@ std::vector<Eigenpair> TopEigenpairsRayleigh(const linalg::Matrix<double>& a, st
       // Deflate: project out previously found eigenvectors.
       for (const auto& v : found) {
         const T coef = Dot(v, x);
-        for (std::size_t i = 0; i < n; ++i) x[i] -= coef * v[i];
+        AxmyInPlace(coef, v, &x);
       }
       MatVecInto(b, x, &y);
       const T c(shift);
-      for (std::size_t i = 0; i < n; ++i) y[i] += c * x[i];
+      AxpyInPlace(c, x, &y);
       const T norm = Norm(y);
       bool ok = std::isfinite(linalg::AsDouble(norm)) && linalg::AsDouble(norm) > 1e-30;
       if (ok) {
+        DivInPlace(norm, &y);
         for (std::size_t i = 0; i < n; ++i) {
-          y[i] = y[i] / norm;
           if (!std::isfinite(linalg::AsDouble(y[i]))) ok = false;
         }
       }

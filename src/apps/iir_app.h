@@ -77,6 +77,13 @@ class IirObjective {
   void SetPenaltyScale(double) {}
 
   T Value(const linalg::Vector<T>& y) const {
+    if (linalg::detail::UseBlockKernels<T>()) {
+      // Fused banded readout: residual + square + accumulate per sample.
+      const double acc = linalg::blas::IirValueAcc(
+          n_, a_.size(), a_.data(), faulty::AsDoubleArray(y.data()),
+          faulty::AsDoubleArray(forcing_.data()), 0.0);
+      return T(0.5) * T(acc);
+    }
     T acc(0);
     for (std::size_t t = 0; t < n_; ++t) {
       const T r = Residual(y, t);
@@ -89,10 +96,18 @@ class IirObjective {
     // r_t = y_t + sum_k a_k y_{t-k} - f_t;  dF/dy_s = r_s + sum_k a_k r_{s+k}.
     // The residual scratch is a lifetime lease (see the constructor);
     // restrict restores the no-alias fact the pooled buffer loses.
+    const std::size_t na = a_.size();
+    if (linalg::detail::UseBlockKernels<T>()) {
+      double* r = faulty::AsDoubleArray(r_lease_->data());
+      linalg::blas::IirResidualInto(n_, na, a_.data(), faulty::AsDoubleArray(y.data()),
+                                    faulty::AsDoubleArray(forcing_.data()), r);
+      linalg::blas::IirGradientInto(n_, na, a_.data(), r,
+                                    faulty::AsDoubleArray(g->data()));
+      return;
+    }
     T* ROBUSTIFY_RESTRICT r = r_lease_->data();
     T* ROBUSTIFY_RESTRICT gp = g->data();
     for (std::size_t t = 0; t < n_; ++t) r[t] = Residual(y, t);
-    const std::size_t na = a_.size();
     for (std::size_t s = 0; s < n_; ++s) {
       T acc = r[s];
       for (std::size_t k = 1; k <= na && s + k < n_; ++k) {

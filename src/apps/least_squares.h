@@ -45,6 +45,13 @@ class LsqObjective {
   T Value(const linalg::Vector<T>& x) const {
     linalg::Vector<T>& ax = *r_lease_;
     MatVecInto(a_, x, &ax);
+    if (linalg::detail::UseBlockKernels<T>()) {
+      // Fused residual readout: one pass of (sub, mul, add) per element.
+      const double acc =
+          linalg::blas::ResidualSsqAcc(ax.size(), 0.0, faulty::AsDoubleArray(ax.data()),
+                                       faulty::AsDoubleArray(b_.data()));
+      return T(0.5) * T(acc);
+    }
     T acc(0);
     for (std::size_t i = 0; i < ax.size(); ++i) {
       const T r = ax[i] - b_[i];
@@ -56,7 +63,7 @@ class LsqObjective {
   void Gradient(const linalg::Vector<T>& x, linalg::Vector<T>* g) const {
     linalg::Vector<T>& r = *r_lease_;
     MatVecInto(a_, x, &r);
-    for (std::size_t i = 0; i < r.size(); ++i) r[i] -= b_[i];
+    SubInPlace(b_, &r);
     MatTVecInto(a_, r, g);
   }
 

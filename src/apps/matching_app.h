@@ -44,24 +44,45 @@ opt::PenalizedLp<T> BuildMatchingLp(const graph::BipartiteGraph& g,
   const std::size_t e = g.edges.size();
   std::vector<double> cost(e);
   for (std::size_t k = 0; k < e; ++k) cost[k] = -g.edges[k].weight;  // maximize
+  // One pass over the edges buckets each endpoint's incident-edge list —
+  // O(V + E) instead of rescanning every edge per constraint row.  Edge
+  // order within a bucket matches the scan order, so the constraints are
+  // identical to the old quadratic build.
+  std::vector<std::vector<std::pair<int, double>>> left_terms(
+      static_cast<std::size_t>(g.left));
+  std::vector<std::vector<std::pair<int, double>>> right_terms(
+      static_cast<std::size_t>(g.right));
+  for (std::size_t k = 0; k < e; ++k) {
+    const int u = g.edges[k].u;
+    const int v = g.edges[k].v;
+    // Out-of-range endpoints fell out of the old per-row scans silently;
+    // keep that failure mode rather than indexing out of bounds.
+    if (u >= 0 && u < g.left) {
+      left_terms[static_cast<std::size_t>(u)].push_back({static_cast<int>(k), 1.0});
+    }
+    if (v >= 0 && v < g.right) {
+      right_terms[static_cast<std::size_t>(v)].push_back({static_cast<int>(k), 1.0});
+    }
+  }
   std::vector<opt::LpConstraint> constraints;
+  constraints.reserve(static_cast<std::size_t>(g.left + g.right));
   for (int u = 0; u < g.left; ++u) {
+    auto& terms = left_terms[static_cast<std::size_t>(u)];
+    if (terms.empty()) continue;
     opt::LpConstraint con;
     con.equality = true;
     con.rhs = 1.0;
-    for (std::size_t k = 0; k < e; ++k) {
-      if (g.edges[k].u == u) con.terms.push_back({static_cast<int>(k), 1.0});
-    }
-    if (!con.terms.empty()) constraints.push_back(std::move(con));
+    con.terms = std::move(terms);
+    constraints.push_back(std::move(con));
   }
   for (int v = 0; v < g.right; ++v) {
+    auto& terms = right_terms[static_cast<std::size_t>(v)];
+    if (terms.empty()) continue;
     opt::LpConstraint con;
     con.equality = false;
     con.rhs = 1.0;
-    for (std::size_t k = 0; k < e; ++k) {
-      if (g.edges[k].v == v) con.terms.push_back({static_cast<int>(k), 1.0});
-    }
-    if (!con.terms.empty()) constraints.push_back(std::move(con));
+    con.terms = std::move(terms);
+    constraints.push_back(std::move(con));
   }
   return opt::PenalizedLp<T>(std::move(cost), std::move(constraints),
                              std::vector<double>(e, 0.0), std::vector<double>(e, 1.0),

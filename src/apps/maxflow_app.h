@@ -38,17 +38,35 @@ FlowResult RobustMaxFlow(const graph::FlowNetwork& net, const MaxFlowConfig& con
     if (net.edges[k].from == net.source) cost[k] -= 1.0;  // maximize outflow
     if (net.edges[k].to == net.source) cost[k] += 1.0;
   }
+  // Bucket each node's incident edges in one pass — O(V + E) instead of
+  // rescanning the edge list per conservation row.  Within a node the +1
+  // (inflow) term of an edge precedes its -1 (outflow) term exactly as in
+  // the old per-row scan, so self-loops keep the same term order.
+  std::vector<std::vector<std::pair<int, double>>> node_terms(
+      static_cast<std::size_t>(net.nodes));
+  for (std::size_t k = 0; k < e; ++k) {
+    const int to = net.edges[k].to;
+    const int from = net.edges[k].from;
+    // Out-of-range endpoints fell out of the old per-row scans silently;
+    // keep that failure mode rather than indexing out of bounds.
+    if (to >= 0 && to < net.nodes) {
+      node_terms[static_cast<std::size_t>(to)].push_back({static_cast<int>(k), 1.0});
+    }
+    if (from >= 0 && from < net.nodes) {
+      node_terms[static_cast<std::size_t>(from)].push_back({static_cast<int>(k), -1.0});
+    }
+  }
   std::vector<opt::LpConstraint> constraints;
+  constraints.reserve(static_cast<std::size_t>(net.nodes));
   for (int v = 0; v < net.nodes; ++v) {
     if (v == net.source || v == net.sink) continue;
+    auto& terms = node_terms[static_cast<std::size_t>(v)];
+    if (terms.empty()) continue;
     opt::LpConstraint con;
     con.equality = true;
     con.rhs = 0.0;
-    for (std::size_t k = 0; k < e; ++k) {
-      if (net.edges[k].to == v) con.terms.push_back({static_cast<int>(k), 1.0});
-      if (net.edges[k].from == v) con.terms.push_back({static_cast<int>(k), -1.0});
-    }
-    if (!con.terms.empty()) constraints.push_back(std::move(con));
+    con.terms = std::move(terms);
+    constraints.push_back(std::move(con));
   }
   opt::PenalizedLp<T> lp(std::move(cost), std::move(constraints), std::move(lower),
                          std::move(upper), config.lp.penalty_weight,

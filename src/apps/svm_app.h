@@ -48,7 +48,12 @@ class SvmObjective {
     const std::size_t n = x_.rows();
     const std::size_t dim = x_.cols();
     T reg(0);
-    for (std::size_t j = 0; j < dim; ++j) reg += v[j] * v[j];
+    if (linalg::detail::UseBlockKernels<T>()) {
+      reg = T(linalg::blas::DotAcc(dim, 0.0, faulty::AsDoubleArray(v.data()), 1,
+                                   faulty::AsDoubleArray(v.data()), 1));
+    } else {
+      for (std::size_t j = 0; j < dim; ++j) reg += v[j] * v[j];
+    }
     T loss(0);
     for (std::size_t i = 0; i < n; ++i) {
       const T margin = Margin(v, i);
@@ -64,13 +69,27 @@ class SvmObjective {
     const std::size_t dim = x_.cols();
     const T lam(lambda_);
     const T inv_n(1.0 / static_cast<double>(n));
-    for (std::size_t j = 0; j < dim; ++j) (*g)[j] = lam * v[j];
+    const bool block = linalg::detail::UseBlockKernels<T>();
+    if (block) {
+      // Same op stream as the scalar loop: one multiplication per
+      // component (copy is reliable, the scale is the faulty op).
+      for (std::size_t j = 0; j < dim; ++j) (*g)[j] = v[j];
+      linalg::blas::Scal(dim, lambda_, faulty::AsDoubleArray(g->data()));
+    } else {
+      for (std::size_t j = 0; j < dim; ++j) (*g)[j] = lam * v[j];
+    }
     (*g)[dim] = T(0);
     for (std::size_t i = 0; i < n; ++i) {
       const T ylabel(static_cast<double>(y_[i]));
       if (linalg::AsDouble(ylabel * Margin(v, i)) < 1.0) {
         const T* row = x_.row(i);
-        for (std::size_t j = 0; j < dim; ++j) (*g)[j] -= inv_n * ylabel * row[j];
+        if (block) {
+          linalg::blas::SubScaled2(dim, linalg::AsDouble(inv_n),
+                                   linalg::AsDouble(ylabel), faulty::AsDoubleArray(row),
+                                   faulty::AsDoubleArray(g->data()));
+        } else {
+          for (std::size_t j = 0; j < dim; ++j) (*g)[j] -= inv_n * ylabel * row[j];
+        }
         (*g)[dim] -= inv_n * ylabel;
       }
     }
@@ -78,8 +97,13 @@ class SvmObjective {
 
   T Margin(const linalg::Vector<T>& v, std::size_t i) const {
     const std::size_t dim = x_.cols();
-    T margin = v[dim];  // bias
     const T* row = x_.row(i);
+    if (linalg::detail::UseBlockKernels<T>()) {
+      return T(linalg::blas::DotAcc(dim, linalg::AsDouble(v[dim]),
+                                    faulty::AsDoubleArray(row), 1,
+                                    faulty::AsDoubleArray(v.data()), 1));
+    }
+    T margin = v[dim];  // bias
     for (std::size_t j = 0; j < dim; ++j) margin += row[j] * v[j];
     return margin;
   }

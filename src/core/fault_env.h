@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "faulty/bit_distribution.h"
+#include "faulty/block_engine.h"
 #include "faulty/fault_injector.h"
 #include "faulty/real.h"
 
@@ -25,6 +26,10 @@ struct FaultEnvironment {
   // pin a trial to one implementation (strategy A/B tests, the rate-0
   // golden-CSV determinism test).
   faulty::FaultInjector::Strategy strategy = faulty::FaultInjector::Strategy::kAuto;
+  // Kernel engine for the scope: kAuto defers to ROBUSTIFY_ENGINE, else the
+  // block engine; pin to kScalar to run the per-scalar equivalence oracle
+  // (same fault stream bit-for-bit — tests/test_block_engine.cpp).
+  faulty::Engine engine = faulty::Engine::kAuto;
 };
 
 namespace detail {
@@ -55,6 +60,7 @@ auto WithFaultyFpu(const FaultEnvironment& env, Fn&& fn,
                                  env.seed, env.strategy);
   if constexpr (std::is_void_v<decltype(fn())>) {
     {
+      faulty::EngineScope engine_scope(env.engine);
       detail::FaultScope scope(&injector);
       std::forward<Fn>(fn)();
     }
@@ -67,6 +73,7 @@ auto WithFaultyFpu(const FaultEnvironment& env, Fn&& fn,
         if (stats) *stats = injector.stats();
       }
     };
+    faulty::EngineScope engine_scope(env.engine);
     detail::FaultScope scope(&injector);
     Finalizer finalize{injector, stats};
     return std::forward<Fn>(fn)();

@@ -1,0 +1,24 @@
+#include "faulty/block_engine.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace robustify::faulty {
+
+// ROBUSTIFY_ENGINE=block|scalar pins every kAuto fault scope to one kernel
+// engine (the scalar CI leg is what keeps the oracle path from rotting).
+// Read once per process.
+Engine EnvEngine() {
+  static const Engine cached = [] {
+    const char* env = std::getenv("ROBUSTIFY_ENGINE");
+    if (env != nullptr) {
+      const std::string value(env);
+      if (value == "block") return Engine::kBlock;
+      if (value == "scalar") return Engine::kScalar;
+    }
+    return Engine::kAuto;
+  }();
+  return cached;
+}
+
+}  // namespace robustify::faulty

@@ -1,0 +1,69 @@
+// Engine dispatch for the block-faulty kernel layer (faulty BLAS).
+//
+// Two execution engines produce the *same* fault stream for a fixed seed:
+//
+//  * scalar — every faulty::Real arithmetic op routes through
+//    FaultInjector::Execute one scalar at a time (the original path, kept
+//    as the equivalence oracle).
+//  * block  — linalg kernels ask the injector how many ops of the
+//    deterministic gap schedule are guaranteed clean, execute that run as a
+//    tight auto-vectorizable loop over raw doubles, bulk-consume the ops,
+//    and fall back to per-scalar Execute only for the element containing
+//    the scheduled fault (src/linalg/faulty_blas.h).
+//
+// Because the block path executes the identical IEEE-754 operation sequence
+// (the build pins -ffp-contract=off so no bulk loop fuses what the scalar
+// path rounds twice) and consumes the injector's RNG/gap stream at exactly
+// the same op positions, trials are bit-identical across engines — which
+// tests/test_block_engine.cpp locks in at the sweep-CSV level.
+//
+// Selection mirrors the injector-strategy knob: a FaultEnvironment::engine
+// of kAuto defers to ROBUSTIFY_ENGINE ("block"/"scalar"), which defaults to
+// block; core::WithFaultyFpu installs the choice for the scope of a trial
+// via EngineScope.
+#pragma once
+
+namespace robustify::faulty {
+
+enum class Engine {
+  kAuto,    // defer to ROBUSTIFY_ENGINE, else block
+  kBlock,   // bulk clean runs between scheduled faults (production)
+  kScalar,  // per-scalar Execute for every op (equivalence oracle)
+};
+
+// The ROBUSTIFY_ENGINE override every kAuto scope resolves through: kBlock
+// for "block", kScalar for "scalar", kAuto when unset or unrecognized.
+// Cached on first use.
+Engine EnvEngine();
+
+namespace detail {
+
+// The engine the current thread's kernels dispatch on; kAuto means "no
+// scope installed an explicit choice" and resolves through EnvEngine.
+inline thread_local Engine tls_engine = Engine::kAuto;
+
+}  // namespace detail
+
+// True when linalg kernels on this thread should take the block path.
+// Resolution order: thread scope (EngineScope) > ROBUSTIFY_ENGINE > block.
+inline bool BlockEngineActive() {
+  Engine e = detail::tls_engine;
+  if (e == Engine::kAuto) e = EnvEngine();
+  return e != Engine::kScalar;
+}
+
+// RAII: pin the thread's engine for one fault scope, restore on exit.
+class EngineScope {
+ public:
+  explicit EngineScope(Engine engine) : previous_(detail::tls_engine) {
+    detail::tls_engine = engine;
+  }
+  ~EngineScope() { detail::tls_engine = previous_; }
+  EngineScope(const EngineScope&) = delete;
+  EngineScope& operator=(const EngineScope&) = delete;
+
+ private:
+  Engine previous_;
+};
+
+}  // namespace robustify::faulty

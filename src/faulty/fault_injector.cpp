@@ -39,6 +39,8 @@ FaultInjector::FaultInjector(double fault_rate, const BitDistribution& bits,
     gaps_ = &GeometricGapSampler::Shared(fault_rate);
   }
 
+  bulk_profitable_ = fault_rate < kBulkProfitableMaxRate;
+
   if (strategy == Strategy::kAuto) strategy = EnvInjectorStrategy();
   // Skip-ahead covers the whole rate range (the gap sampler's alias table
   // keeps the per-fault cost flat even at rate 0.5); per-op exists only as

@@ -101,6 +101,30 @@ class FaultInjector {
     return FaultPathComparison(clean_result);
   }
 
+  // ---- block-engine API (src/faulty/block_engine.h, linalg/faulty_blas) --
+  //
+  // A block kernel executes the next `CleanRun()` ops as one tight loop over
+  // raw doubles and then accounts for them with a single ConsumeClean —
+  // observationally identical to that many Execute calls (the countdown is
+  // the only per-op state, and stats derive from it), but with nothing of
+  // the injector on the clean path.  In per-op oracle mode the countdown is
+  // pinned at zero, so CleanRun() is 0 and block kernels degrade to the
+  // per-scalar boundary path op by op, preserving the oracle's RNG stream.
+
+  // Ops guaranteed clean from now under the deterministic gap schedule.
+  std::uint64_t CleanRun() const { return countdown_; }
+
+  // Accounts for `n` clean ops executed outside Execute().  Precondition:
+  // n <= CleanRun().
+  void ConsumeClean(std::uint64_t n) { countdown_ -= n; }
+
+  // Above this rate the mean clean run is too short for bulk loops to beat
+  // the per-scalar path (the per-fault machinery dominates both), so the
+  // block engine's dispatch falls back to the per-scalar loops — which are
+  // bit-identical by construction, so the choice is invisible to results.
+  static constexpr double kBulkProfitableMaxRate = 1.0 / 32.0;
+  bool BulkProfitable() const { return bulk_profitable_; }
+
   ContextStats stats() const {
     ContextStats s;
     // Skip-ahead invariant (mod 2^64): ops executed = scheduled_ - countdown_.
@@ -130,6 +154,7 @@ class FaultInjector {
   std::uint64_t faults_ = 0;
   std::uint64_t threshold_ = 0;   // fault_rate scaled to the uint64 range
   bool per_op_ = false;
+  bool bulk_profitable_ = true;   // rate low enough for bulk clean runs
 };
 
 // The ROBUSTIFY_INJECTOR override every kAuto injector resolves through:

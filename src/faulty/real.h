@@ -62,4 +62,20 @@ inline Real abs(Real a) { return fabs(a); }
 inline bool isfinite(Real a) { return std::isfinite(a.value()); }
 inline bool isnan(Real a) { return std::isnan(a.value()); }
 
+// The block kernel layer (linalg/faulty_blas.h) executes arrays of Real as
+// raw double arrays — storage is reliable either way, only the arithmetic
+// performed on it differs.  Real is a single stored double by construction;
+// these asserts are what that layer's reinterpretation relies on.
+static_assert(sizeof(Real) == sizeof(double), "Real must wrap exactly one double");
+static_assert(std::is_standard_layout_v<Real>, "Real must be standard-layout");
+inline double* AsDoubleArray(Real* p) { return reinterpret_cast<double*>(p); }
+inline const double* AsDoubleArray(const Real* p) {
+  return reinterpret_cast<const double*>(p);
+}
+// Identity overloads so generic dispatch code type-checks when instantiated
+// with T = double (the branch is dead there — UseBlockKernels<double>() is a
+// compile-time false — but it must still compile).
+inline double* AsDoubleArray(double* p) { return p; }
+inline const double* AsDoubleArray(const double* p) { return p; }
+
 }  // namespace robustify::faulty

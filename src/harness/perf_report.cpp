@@ -37,6 +37,7 @@ void WritePerfJson(const std::string& path, const PerfReport& report) {
       << "  \"threads\": " << report.threads << ",\n"
       << "  \"injector_strategy\": \"" << JsonEscape(report.injector_strategy)
       << "\",\n"
+      << "  \"engine\": \"" << JsonEscape(report.engine) << "\",\n"
       << "  \"wall_seconds\": " << Num(report.wall_seconds) << ",\n"
       << "  \"sections\": [";
   for (std::size_t i = 0; i < report.sections.size(); ++i) {

@@ -25,6 +25,7 @@ struct PerfReport {
   std::string bench;
   int threads = 1;
   std::string injector_strategy;  // "auto", "skip-ahead", or "per-op"
+  std::string engine;             // "auto", "block", or "scalar"
   double wall_seconds = 0.0;      // whole-process wall time
   std::vector<PerfSection> sections;
 };

@@ -1,0 +1,596 @@
+#include "linalg/faulty_blas.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "faulty/fault_injector.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define BLAS_RESTRICT __restrict__
+#else
+#define BLAS_RESTRICT
+#endif
+
+namespace robustify::linalg::blas {
+
+namespace {
+
+using faulty::FaultInjector;
+
+// Drives one kernel over `n` elements of `ops_per_elem` faulty ops each:
+// whole elements that fit in the injector's clean run go through `bulk`
+// (a raw loop, no injector), the element containing the scheduled fault
+// goes through `boundary` (per-scalar Execute, which corrupts and re-arms
+// the countdown).  With no injector active the whole kernel is one bulk
+// call.  In per-op oracle mode CleanRun() is always 0, so every element is
+// a boundary element and the oracle's RNG stream is consumed op by op.
+template <class Bulk, class Boundary>
+inline void RunBlockedDyn(std::size_t n, std::uint64_t ops_per_elem, const Bulk& bulk,
+                          const Boundary& boundary) {
+  FaultInjector* inj = faulty::detail::tls_injector;
+  if (inj == nullptr) {
+    bulk(std::size_t{0}, n);
+    return;
+  }
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t fit = inj->CleanRun() / ops_per_elem;
+    const std::size_t left = n - i;
+    const std::size_t chunk = fit < left ? static_cast<std::size_t>(fit) : left;
+    if (chunk != 0) {
+      bulk(i, i + chunk);
+      inj->ConsumeClean(static_cast<std::uint64_t>(chunk) * ops_per_elem);
+      i += chunk;
+      if (i == n) break;
+    }
+    boundary(inj, i);
+    ++i;
+  }
+}
+
+// Compile-time op count: the per-chunk division folds to a shift (or a
+// reciprocal multiply), which matters at high fault rates where chunks are
+// a handful of elements long.
+template <std::uint64_t kOpsPerElem, class Bulk, class Boundary>
+inline void RunBlocked(std::size_t n, const Bulk& bulk, const Boundary& boundary) {
+  RunBlockedDyn(n, kOpsPerElem, bulk, boundary);
+}
+
+// One faulty op outside any element loop (e.g. the final sqrt of Nrm2).
+inline double OneOp(double v) {
+  FaultInjector* inj = faulty::detail::tls_injector;
+  return inj != nullptr ? inj->Execute(v) : v;
+}
+
+// kContig pins the strides to compile-time 1 so the contiguous entry points
+// vectorize; the strided instantiation keeps runtime strides (column access
+// in the row-major direct solvers — still countdown-free on the clean run).
+template <bool kContig>
+double DotAccImpl(std::size_t n, double acc, const double* BLAS_RESTRICT x,
+                  std::ptrdiff_t incx, const double* BLAS_RESTRICT y,
+                  std::ptrdiff_t incy) {
+  const std::ptrdiff_t sx = kContig ? 1 : incx;
+  const std::ptrdiff_t sy = kContig ? 1 : incy;
+  RunBlocked<2>(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        double a = acc;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double t = x[static_cast<std::ptrdiff_t>(i) * sx] *
+                           y[static_cast<std::ptrdiff_t>(i) * sy];
+          a = a + t;
+        }
+        acc = a;
+      },
+      [&](FaultInjector* inj, std::size_t i) {
+        const double t = inj->Execute(x[static_cast<std::ptrdiff_t>(i) * sx] *
+                                      y[static_cast<std::ptrdiff_t>(i) * sy]);
+        acc = inj->Execute(acc + t);
+      });
+  return acc;
+}
+
+template <bool kContig>
+double DotAccNegImpl(std::size_t n, double acc, const double* BLAS_RESTRICT x,
+                     std::ptrdiff_t incx, const double* BLAS_RESTRICT y,
+                     std::ptrdiff_t incy) {
+  const std::ptrdiff_t sx = kContig ? 1 : incx;
+  const std::ptrdiff_t sy = kContig ? 1 : incy;
+  RunBlocked<2>(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        double a = acc;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double t = x[static_cast<std::ptrdiff_t>(i) * sx] *
+                           y[static_cast<std::ptrdiff_t>(i) * sy];
+          a = a - t;
+        }
+        acc = a;
+      },
+      [&](FaultInjector* inj, std::size_t i) {
+        const double t = inj->Execute(x[static_cast<std::ptrdiff_t>(i) * sx] *
+                                      y[static_cast<std::ptrdiff_t>(i) * sy]);
+        acc = inj->Execute(acc - t);
+      });
+  return acc;
+}
+
+template <bool kContig>
+void AxpyImpl(std::size_t n, double alpha, const double* BLAS_RESTRICT x,
+              std::ptrdiff_t incx, double* BLAS_RESTRICT y, std::ptrdiff_t incy) {
+  const std::ptrdiff_t sx = kContig ? 1 : incx;
+  const std::ptrdiff_t sy = kContig ? 1 : incy;
+  RunBlocked<2>(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double t = alpha * x[static_cast<std::ptrdiff_t>(i) * sx];
+          double& yi = y[static_cast<std::ptrdiff_t>(i) * sy];
+          yi = yi + t;
+        }
+      },
+      [&](FaultInjector* inj, std::size_t i) {
+        const double t = inj->Execute(alpha * x[static_cast<std::ptrdiff_t>(i) * sx]);
+        double& yi = y[static_cast<std::ptrdiff_t>(i) * sy];
+        yi = inj->Execute(yi + t);
+      });
+}
+
+template <bool kContig>
+void AxmyImpl(std::size_t n, double alpha, const double* BLAS_RESTRICT x,
+              std::ptrdiff_t incx, double* BLAS_RESTRICT y, std::ptrdiff_t incy) {
+  const std::ptrdiff_t sx = kContig ? 1 : incx;
+  const std::ptrdiff_t sy = kContig ? 1 : incy;
+  RunBlocked<2>(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double t = alpha * x[static_cast<std::ptrdiff_t>(i) * sx];
+          double& yi = y[static_cast<std::ptrdiff_t>(i) * sy];
+          yi = yi - t;
+        }
+      },
+      [&](FaultInjector* inj, std::size_t i) {
+        const double t = inj->Execute(alpha * x[static_cast<std::ptrdiff_t>(i) * sx]);
+        double& yi = y[static_cast<std::ptrdiff_t>(i) * sy];
+        yi = inj->Execute(yi - t);
+      });
+}
+
+}  // namespace
+
+double DotAcc(std::size_t n, double acc, const double* x, std::ptrdiff_t incx,
+              const double* y, std::ptrdiff_t incy) {
+  if (incx == 1 && incy == 1) return DotAccImpl<true>(n, acc, x, 1, y, 1);
+  return DotAccImpl<false>(n, acc, x, incx, y, incy);
+}
+
+double DotAccNeg(std::size_t n, double acc, const double* x, std::ptrdiff_t incx,
+                 const double* y, std::ptrdiff_t incy) {
+  if (incx == 1 && incy == 1) return DotAccNegImpl<true>(n, acc, x, 1, y, 1);
+  return DotAccNegImpl<false>(n, acc, x, incx, y, incy);
+}
+
+void Axpy(std::size_t n, double alpha, const double* x, std::ptrdiff_t incx, double* y,
+          std::ptrdiff_t incy) {
+  if (incx == 1 && incy == 1) {
+    AxpyImpl<true>(n, alpha, x, 1, y, 1);
+  } else {
+    AxpyImpl<false>(n, alpha, x, incx, y, incy);
+  }
+}
+
+void Axmy(std::size_t n, double alpha, const double* x, std::ptrdiff_t incx, double* y,
+          std::ptrdiff_t incy) {
+  if (incx == 1 && incy == 1) {
+    AxmyImpl<true>(n, alpha, x, 1, y, 1);
+  } else {
+    AxmyImpl<false>(n, alpha, x, incx, y, incy);
+  }
+}
+
+void Scal(std::size_t n, double alpha, double* x) {
+  RunBlocked<1>(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        double* BLAS_RESTRICT xp = x;
+        for (std::size_t i = lo; i < hi; ++i) xp[i] = xp[i] * alpha;
+      },
+      [&](FaultInjector* inj, std::size_t i) { x[i] = inj->Execute(x[i] * alpha); });
+}
+
+void DivScal(std::size_t n, double divisor, double* x) {
+  RunBlocked<1>(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        double* BLAS_RESTRICT xp = x;
+        for (std::size_t i = lo; i < hi; ++i) xp[i] = xp[i] / divisor;
+      },
+      [&](FaultInjector* inj, std::size_t i) { x[i] = inj->Execute(x[i] / divisor); });
+}
+
+void Sub(std::size_t n, const double* x, double* y) {
+  RunBlocked<1>(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        const double* BLAS_RESTRICT xp = x;
+        double* BLAS_RESTRICT yp = y;
+        for (std::size_t i = lo; i < hi; ++i) yp[i] = yp[i] - xp[i];
+      },
+      [&](FaultInjector* inj, std::size_t i) { y[i] = inj->Execute(y[i] - x[i]); });
+}
+
+void Xpby(std::size_t n, const double* s, double beta, double* p) {
+  RunBlocked<2>(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        const double* BLAS_RESTRICT sp = s;
+        double* BLAS_RESTRICT pp = p;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double t = beta * pp[i];
+          pp[i] = sp[i] + t;
+        }
+      },
+      [&](FaultInjector* inj, std::size_t i) {
+        const double t = inj->Execute(beta * p[i]);
+        p[i] = inj->Execute(s[i] + t);
+      });
+}
+
+double Nrm2(std::size_t n, const double* x) {
+  return OneOp(std::sqrt(DotAcc(n, 0.0, x, 1, x, 1)));
+}
+
+// The matrix kernels block at element granularity *inline* — no per-row
+// function call, and the clean-run probe is a load + shift + compare.  At
+// realistic rates one probe covers the whole product; at high rates even
+// the row containing the scheduled fault bulk-runs its clean prefix and
+// suffix, paying Execute only for the two ops around the fault.
+void MatVecInto(std::size_t m, std::size_t n, const double* a, const double* x,
+                double* y) {
+  FaultInjector* inj = faulty::detail::tls_injector;
+  const double* BLAS_RESTRICT xp = x;
+  if (inj == nullptr) {
+    double* BLAS_RESTRICT yp = y;
+    for (std::size_t r = 0; r < m; ++r) {
+      const double* BLAS_RESTRICT row = a + r * n;
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double t = row[j] * xp[j];
+        acc = acc + t;
+      }
+      yp[r] = acc;  // store is reliable
+    }
+    return;
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    const double* BLAS_RESTRICT row = a + r * n;
+    double acc = 0.0;
+    std::size_t j = 0;
+    while (j < n) {
+      const std::uint64_t fit = inj->CleanRun() >> 1;
+      const std::size_t left = n - j;
+      const std::size_t chunk = fit < left ? static_cast<std::size_t>(fit) : left;
+      if (chunk != 0) {
+        const std::size_t end = j + chunk;
+        for (; j < end; ++j) {
+          const double t = row[j] * xp[j];
+          acc = acc + t;
+        }
+        inj->ConsumeClean(static_cast<std::uint64_t>(chunk) * 2);
+        if (j == n) break;
+      }
+      const double t = inj->Execute(row[j] * xp[j]);
+      acc = inj->Execute(acc + t);
+      ++j;
+    }
+    y[r] = acc;
+  }
+}
+
+void MatTVecInto(std::size_t m, std::size_t n, const double* a, const double* x,
+                 double* y) {
+  for (std::size_t j = 0; j < n; ++j) y[j] = 0.0;  // reliable stores
+  FaultInjector* inj = faulty::detail::tls_injector;
+  if (inj == nullptr) {
+    const double* BLAS_RESTRICT xp = x;
+    double* BLAS_RESTRICT yp = y;
+    for (std::size_t r = 0; r < m; ++r) {
+      const double* BLAS_RESTRICT row = a + r * n;
+      const double alpha = xp[r];
+      for (std::size_t j = 0; j < n; ++j) {
+        const double t = row[j] * alpha;
+        yp[j] = yp[j] + t;
+      }
+    }
+    return;
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    const double* BLAS_RESTRICT row = a + r * n;
+    const double alpha = x[r];
+    double* BLAS_RESTRICT yp = y;
+    std::size_t j = 0;
+    while (j < n) {
+      const std::uint64_t fit = inj->CleanRun() >> 1;
+      const std::size_t left = n - j;
+      const std::size_t chunk = fit < left ? static_cast<std::size_t>(fit) : left;
+      if (chunk != 0) {
+        const std::size_t end = j + chunk;
+        for (; j < end; ++j) {
+          const double t = row[j] * alpha;
+          yp[j] = yp[j] + t;
+        }
+        inj->ConsumeClean(static_cast<std::uint64_t>(chunk) * 2);
+        if (j == n) break;
+      }
+      yp[j] = inj->Execute(yp[j] + inj->Execute(row[j] * alpha));
+      ++j;
+    }
+  }
+}
+
+double ResidualSsqAcc(std::size_t n, double acc, const double* ax, const double* b) {
+  RunBlocked<3>(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        const double* BLAS_RESTRICT axp = ax;
+        const double* BLAS_RESTRICT bp = b;
+        double a = acc;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double r = axp[i] - bp[i];
+          const double sq = r * r;
+          a = a + sq;
+        }
+        acc = a;
+      },
+      [&](FaultInjector* inj, std::size_t i) {
+        const double r = inj->Execute(ax[i] - b[i]);
+        const double sq = inj->Execute(r * r);
+        acc = inj->Execute(acc + sq);
+      });
+  return acc;
+}
+
+void SubScaled2(std::size_t n, double s1, double s2, const double* x, double* y) {
+  RunBlocked<3>(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        const double* BLAS_RESTRICT xp = x;
+        double* BLAS_RESTRICT yp = y;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double t1 = s1 * s2;
+          const double t2 = t1 * xp[i];
+          yp[i] = yp[i] - t2;
+        }
+      },
+      [&](FaultInjector* inj, std::size_t i) {
+        const double t1 = inj->Execute(s1 * s2);
+        const double t2 = inj->Execute(t1 * x[i]);
+        y[i] = inj->Execute(y[i] - t2);
+      });
+}
+
+void Rot(std::size_t n, double* x, std::ptrdiff_t incx, double* y, std::ptrdiff_t incy,
+         double c, double s) {
+  RunBlocked<6>(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          double& xi = x[static_cast<std::ptrdiff_t>(i) * incx];
+          double& yi = y[static_cast<std::ptrdiff_t>(i) * incy];
+          const double tp = c * xi;
+          const double tq = s * yi;
+          const double up = s * xi;
+          const double uq = c * yi;
+          xi = tp - tq;
+          yi = up + uq;
+        }
+      },
+      [&](FaultInjector* inj, std::size_t i) {
+        double& xi = x[static_cast<std::ptrdiff_t>(i) * incx];
+        double& yi = y[static_cast<std::ptrdiff_t>(i) * incy];
+        const double tp = inj->Execute(c * xi);
+        const double tq = inj->Execute(s * yi);
+        const double up = inj->Execute(s * xi);
+        const double uq = inj->Execute(c * yi);
+        xi = inj->Execute(tp - tq);
+        yi = inj->Execute(up + uq);
+      });
+}
+
+void JacobiDots(std::size_t n, const double* x, std::ptrdiff_t incx, const double* y,
+                std::ptrdiff_t incy, double* app, double* aqq, double* apq) {
+  double vpp = *app, vqq = *aqq, vpq = *apq;
+  RunBlocked<6>(
+      n,
+      [&](std::size_t lo, std::size_t hi) {
+        double app_a = vpp, aqq_a = vqq, apq_a = vpq;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double xi = x[static_cast<std::ptrdiff_t>(i) * incx];
+          const double yi = y[static_cast<std::ptrdiff_t>(i) * incy];
+          const double txx = xi * xi;
+          app_a = app_a + txx;
+          const double tyy = yi * yi;
+          aqq_a = aqq_a + tyy;
+          const double txy = xi * yi;
+          apq_a = apq_a + txy;
+        }
+        vpp = app_a;
+        vqq = aqq_a;
+        vpq = apq_a;
+      },
+      [&](FaultInjector* inj, std::size_t i) {
+        const double xi = x[static_cast<std::ptrdiff_t>(i) * incx];
+        const double yi = y[static_cast<std::ptrdiff_t>(i) * incy];
+        vpp = inj->Execute(vpp + inj->Execute(xi * xi));
+        vqq = inj->Execute(vqq + inj->Execute(yi * yi));
+        vpq = inj->Execute(vpq + inj->Execute(xi * yi));
+      });
+  *app = vpp;
+  *aqq = vqq;
+  *apq = vpq;
+}
+
+// ---- IIR kernels -----------------------------------------------------------
+//
+// Per-element faulty op counts (taps in range = min(na, t) at sample t):
+//   residual: 1 + 2 * taps      value: residual + 2      gradient: 2 * taps'
+// The first min(na, n) samples ramp the count up one tap at a time, so they
+// are handled element by element; the steady region runs through the bulk
+// machinery with a fixed count.  Gradient ramps *down* at the tail instead
+// (taps' = min(na, n-1-s)).
+
+namespace {
+
+// One residual element computed through the injector (boundary path).
+inline double IirResidualOp(FaultInjector* inj, std::size_t t, std::size_t na,
+                            const double* a, const double* y, const double* f) {
+  double r = inj->Execute(y[t] - f[t]);
+  for (std::size_t k = 1; k <= na && k <= t; ++k) {
+    const double m = inj->Execute(a[k - 1] * y[t - k]);
+    r = inj->Execute(r + m);
+  }
+  return r;
+}
+
+// One residual element on the clean path (raw doubles, no injector).
+inline double IirResidualRaw(std::size_t t, std::size_t na, const double* a,
+                             const double* y, const double* f) {
+  double r = y[t] - f[t];
+  for (std::size_t k = 1; k <= na && k <= t; ++k) {
+    const double m = a[k - 1] * y[t - k];
+    r = r + m;
+  }
+  return r;
+}
+
+}  // namespace
+
+double IirValueAcc(std::size_t n, std::size_t na, const double* a, const double* y,
+                   const double* f, double acc) {
+  FaultInjector* inj = faulty::detail::tls_injector;
+  const std::size_t ramp = na < n ? na : n;
+  std::size_t t = 0;
+  // Ramp: per-element op count 3 + 2t.
+  for (; t < ramp; ++t) {
+    const std::uint64_t ops = 3 + 2 * static_cast<std::uint64_t>(t);
+    if (inj == nullptr || inj->CleanRun() >= ops) {
+      const double r = IirResidualRaw(t, na, a, y, f);
+      const double sq = r * r;
+      acc = acc + sq;
+      if (inj != nullptr) inj->ConsumeClean(ops);
+    } else {
+      const double r = IirResidualOp(inj, t, na, a, y, f);
+      const double sq = inj->Execute(r * r);
+      acc = inj->Execute(acc + sq);
+    }
+  }
+  // Steady region: fixed 3 + 2*na ops per element.
+  const std::uint64_t ops = 3 + 2 * static_cast<std::uint64_t>(na);
+  RunBlockedDyn(
+      n - t, ops,
+      [&](std::size_t lo, std::size_t hi) {
+        double acc_a = acc;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t s = t + i;
+          const double r = IirResidualRaw(s, na, a, y, f);
+          const double sq = r * r;
+          acc_a = acc_a + sq;
+        }
+        acc = acc_a;
+      },
+      [&](FaultInjector* fi, std::size_t i) {
+        const std::size_t s = t + i;
+        const double r = IirResidualOp(fi, s, na, a, y, f);
+        const double sq = fi->Execute(r * r);
+        acc = fi->Execute(acc + sq);
+      });
+  return acc;
+}
+
+void IirResidualInto(std::size_t n, std::size_t na, const double* a, const double* y,
+                     const double* f, double* r) {
+  FaultInjector* inj = faulty::detail::tls_injector;
+  const std::size_t ramp = na < n ? na : n;
+  std::size_t t = 0;
+  for (; t < ramp; ++t) {
+    const std::uint64_t ops = 1 + 2 * static_cast<std::uint64_t>(t);
+    if (inj == nullptr || inj->CleanRun() >= ops) {
+      r[t] = IirResidualRaw(t, na, a, y, f);
+      if (inj != nullptr) inj->ConsumeClean(ops);
+    } else {
+      r[t] = IirResidualOp(inj, t, na, a, y, f);
+    }
+  }
+  const std::uint64_t ops = 1 + 2 * static_cast<std::uint64_t>(na);
+  RunBlockedDyn(
+      n - t, ops,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t s = t + i;
+          r[s] = IirResidualRaw(s, na, a, y, f);
+        }
+      },
+      [&](FaultInjector* fi, std::size_t i) {
+        const std::size_t s = t + i;
+        r[s] = IirResidualOp(fi, s, na, a, y, f);
+      });
+}
+
+void IirGradientInto(std::size_t n, std::size_t na, const double* a, const double* r,
+                     double* g) {
+  if (n == 0) return;
+  if (na == 0) {
+    for (std::size_t s = 0; s < n; ++s) g[s] = r[s];  // copies: no faulty op
+    return;
+  }
+  FaultInjector* inj = faulty::detail::tls_injector;
+  // Steady region: samples with all na taps in range (s + na <= n - 1).
+  const std::size_t steady = n - 1 >= na ? n - na : 0;
+  const std::uint64_t ops = 2 * static_cast<std::uint64_t>(na);
+  RunBlockedDyn(
+      steady, ops,
+      [&](std::size_t lo, std::size_t hi) {
+        const double* BLAS_RESTRICT rp = r;
+        double* BLAS_RESTRICT gp = g;
+        for (std::size_t s = lo; s < hi; ++s) {
+          double acc = rp[s];
+          for (std::size_t k = 1; k <= na; ++k) {
+            const double m = a[k - 1] * rp[s + k];
+            acc = acc + m;
+          }
+          gp[s] = acc;
+        }
+      },
+      [&](FaultInjector* fi, std::size_t s) {
+        double acc = r[s];
+        for (std::size_t k = 1; k <= na; ++k) {
+          const double m = fi->Execute(a[k - 1] * r[s + k]);
+          acc = fi->Execute(acc + m);
+        }
+        g[s] = acc;
+      });
+  // Tail ramp-down: taps in range shrink to zero; per-element handling.
+  for (std::size_t s = steady; s < n; ++s) {
+    const std::size_t taps = n - 1 - s;  // < na here
+    const std::uint64_t tail_ops = 2 * static_cast<std::uint64_t>(taps);
+    if (inj == nullptr || inj->CleanRun() >= tail_ops) {
+      double acc = r[s];
+      for (std::size_t k = 1; k <= taps; ++k) {
+        const double m = a[k - 1] * r[s + k];
+        acc = acc + m;
+      }
+      g[s] = acc;
+      if (inj != nullptr) inj->ConsumeClean(tail_ops);
+    } else {
+      double acc = r[s];
+      for (std::size_t k = 1; k <= taps; ++k) {
+        const double m = inj->Execute(a[k - 1] * r[s + k]);
+        acc = inj->Execute(acc + m);
+      }
+      g[s] = acc;
+    }
+  }
+}
+
+}  // namespace robustify::linalg::blas

@@ -17,68 +17,199 @@ namespace robustify::linalg {
 
 enum class LsqBaseline { kSvd, kQr, kCholesky };
 
-// min ||A x - b|| via Householder QR (A m x n, m >= n).
+namespace detail {
+
+// Strided primitives for the column-oriented loops below (row-major
+// storage: a column walks with stride = cols).  Each states its exact
+// per-element faulty-op sequence; the block path dispatches to the matching
+// faulty-BLAS kernel, the scalar path is the loop spelled out — the two are
+// bit-identical per the engine contract (faulty_blas.h).
+
+// acc += sum x.y       per element: mul, add.
 template <class T>
-Vector<T> SolveLsqQr(Matrix<T> a, Vector<T> b) {
+T StridedDotAcc(T acc, std::size_t n, const T* x, std::ptrdiff_t incx, const T* y,
+                std::ptrdiff_t incy) {
+  if (UseBlockKernels<T>()) {
+    return T(blas::DotAcc(n, AsDouble(acc), faulty::AsDoubleArray(x), incx,
+                          faulty::AsDoubleArray(y), incy));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += x[static_cast<std::ptrdiff_t>(i) * incx] *
+           y[static_cast<std::ptrdiff_t>(i) * incy];
+  }
+  return acc;
+}
+
+// acc -= sum x.y       per element: mul, sub.
+template <class T>
+T StridedDotAccNeg(T acc, std::size_t n, const T* x, std::ptrdiff_t incx, const T* y,
+                   std::ptrdiff_t incy) {
+  if (UseBlockKernels<T>()) {
+    return T(blas::DotAccNeg(n, AsDouble(acc), faulty::AsDoubleArray(x), incx,
+                             faulty::AsDoubleArray(y), incy));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    acc -= x[static_cast<std::ptrdiff_t>(i) * incx] *
+           y[static_cast<std::ptrdiff_t>(i) * incy];
+  }
+  return acc;
+}
+
+// y += alpha * x       per element: mul, add.  x and y must not alias.
+template <class T>
+void StridedAxpy(std::size_t n, const T& alpha, const T* x, std::ptrdiff_t incx, T* y,
+                 std::ptrdiff_t incy) {
+  if (UseBlockKernels<T>()) {
+    blas::Axpy(n, AsDouble(alpha), faulty::AsDoubleArray(x), incx,
+               faulty::AsDoubleArray(y), incy);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    y[static_cast<std::ptrdiff_t>(i) * incy] +=
+        alpha * x[static_cast<std::ptrdiff_t>(i) * incx];
+  }
+}
+
+// y -= alpha * x       per element: mul, sub.  x and y must not alias.
+template <class T>
+void StridedAxmy(std::size_t n, const T& alpha, const T* x, std::ptrdiff_t incx, T* y,
+                 std::ptrdiff_t incy) {
+  if (UseBlockKernels<T>()) {
+    blas::Axmy(n, AsDouble(alpha), faulty::AsDoubleArray(x), incx,
+               faulty::AsDoubleArray(y), incy);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    y[static_cast<std::ptrdiff_t>(i) * incy] -=
+        alpha * x[static_cast<std::ptrdiff_t>(i) * incx];
+  }
+}
+
+// Jacobi rotation (x, y) <- (c x - s y, s x + c y).
+// Per element: mul, mul, mul, mul, sub, add — spelled out with temporaries
+// so both engines execute the same deterministic op order.
+template <class T>
+void StridedRot(std::size_t n, T* x, std::ptrdiff_t incx, T* y, std::ptrdiff_t incy,
+                const T& c, const T& s) {
+  if (UseBlockKernels<T>()) {
+    blas::Rot(n, faulty::AsDoubleArray(x), incx, faulty::AsDoubleArray(y), incy,
+              AsDouble(c), AsDouble(s));
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    T& xi = x[static_cast<std::ptrdiff_t>(i) * incx];
+    T& yi = y[static_cast<std::ptrdiff_t>(i) * incy];
+    const T tp = c * xi;
+    const T tq = s * yi;
+    const T up = s * xi;
+    const T uq = c * yi;
+    xi = tp - tq;
+    yi = up + uq;
+  }
+}
+
+// Fused pre-rotation column moments: app += x.x, aqq += y.y, apq += x.y.
+// Per element: mul, add, mul, add, mul, add.
+template <class T>
+void JacobiColumnDots(std::size_t n, const T* x, std::ptrdiff_t incx, const T* y,
+                      std::ptrdiff_t incy, T* app, T* aqq, T* apq) {
+  if (UseBlockKernels<T>()) {
+    double vpp = AsDouble(*app), vqq = AsDouble(*aqq), vpq = AsDouble(*apq);
+    blas::JacobiDots(n, faulty::AsDoubleArray(x), incx, faulty::AsDoubleArray(y), incy,
+                     &vpp, &vqq, &vpq);
+    *app = T(vpp);
+    *aqq = T(vqq);
+    *apq = T(vpq);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const T xi = x[static_cast<std::ptrdiff_t>(i) * incx];
+    const T yi = y[static_cast<std::ptrdiff_t>(i) * incy];
+    *app += xi * xi;
+    *aqq += yi * yi;
+    *apq += xi * yi;
+  }
+}
+
+}  // namespace detail
+
+// min ||A x - b|| via Householder QR (A m x n, m >= n).
+//
+// Works on A^T so every Householder column is a contiguous row (the
+// transpose is reliable copies, no FP op — the faulty op sequence is the
+// column-oriented one).
+template <class T>
+Vector<T> SolveLsqQr(const Matrix<T>& a_in, Vector<T> b) {
   using std::sqrt;
-  const std::size_t m = a.rows();
-  const std::size_t n = a.cols();
+  const std::size_t m = a_in.rows();
+  const std::size_t n = a_in.cols();
+  Matrix<T> a(n, m);  // row j = column j of A
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(j, i) = a_in(i, j);
+  }
   for (std::size_t k = 0; k < n; ++k) {
-    // Householder vector for column k.
-    T norm2(0);
-    for (std::size_t i = k; i < m; ++i) norm2 += a(i, k) * a(i, k);
+    // Householder vector for column k (= row k of the transpose).
+    T* colk = a.row(k);
+    const T norm2 = detail::StridedDotAcc(T(0), m - k, colk + k, 1, colk + k, 1);
     T alpha = sqrt(norm2);
-    if (AsDouble(a(k, k)) > 0.0) alpha = -alpha;
+    if (AsDouble(colk[k]) > 0.0) alpha = -alpha;
     Vector<T> v(m - k);
-    v[0] = a(k, k) - alpha;
-    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = a(i, k);
-    T vtv(0);
-    for (std::size_t i = 0; i < v.size(); ++i) vtv += v[i] * v[i];
-    a(k, k) = alpha;
-    for (std::size_t i = k + 1; i < m; ++i) a(i, k) = T(0);
+    v[0] = colk[k] - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = colk[i];
+    const T vtv = detail::StridedDotAcc(T(0), v.size(), v.data(), 1, v.data(), 1);
+    colk[k] = alpha;
+    for (std::size_t i = k + 1; i < m; ++i) colk[i] = T(0);
     if (AsDouble(vtv) == 0.0) continue;
     // Apply H = I - 2 v v^T / (v^T v) to the trailing columns and to b.
     for (std::size_t j = k + 1; j < n; ++j) {
-      T dot(0);
-      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * a(i, j);
+      T* colj = a.row(j);
+      const T dot = detail::StridedDotAcc(T(0), m - k, v.data(), 1, colj + k, 1);
       const T scale = T(2) * dot / vtv;
-      for (std::size_t i = k; i < m; ++i) a(i, j) -= scale * v[i - k];
+      detail::StridedAxmy(m - k, scale, v.data(), 1, colj + k, 1);
     }
-    T dot(0);
-    for (std::size_t i = k; i < m; ++i) dot += v[i - k] * b[i];
+    const T dot = detail::StridedDotAcc(T(0), m - k, v.data(), 1, b.data() + k, 1);
     const T scale = T(2) * dot / vtv;
-    for (std::size_t i = k; i < m; ++i) b[i] -= scale * v[i - k];
+    detail::StridedAxmy(m - k, scale, v.data(), 1, b.data() + k, 1);
   }
-  // Back substitution on the n x n upper triangle.
+  // Back substitution on the n x n upper triangle: R(kk, j) = a(j, kk).
+  const std::ptrdiff_t col = static_cast<std::ptrdiff_t>(m);  // stride in A^T
   Vector<T> x(n);
   for (std::size_t kk = n; kk-- > 0;) {
     T acc = b[kk];
-    for (std::size_t j = kk + 1; j < n; ++j) acc -= a(kk, j) * x[j];
+    if (kk + 1 < n) {
+      acc = detail::StridedDotAccNeg(acc, n - kk - 1, &a(kk + 1, kk), col,
+                                     x.data() + kk + 1, 1);
+    }
     x[kk] = acc / a(kk, kk);
   }
   return x;
 }
 
 // min ||A x - b|| via one-sided Jacobi SVD (A = U S V^T, x = V S^+ U^T b).
+//
+// Works on A^T and V^T so every column the sweep touches is a contiguous
+// row: the rotation kernels vectorize and even the per-scalar oracle walks
+// cache lines instead of strides.  The transposes are reliable copies — no
+// FP op — so the faulty op sequence is exactly the column-oriented one.
 template <class T>
-Vector<T> SolveLsqSvd(Matrix<T> a, const Vector<T>& b) {
+Vector<T> SolveLsqSvd(const Matrix<T>& a, const Vector<T>& b) {
   using std::sqrt;
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
-  // V accumulates the right rotations.
-  Matrix<T> v(n, n);
-  for (std::size_t i = 0; i < n; ++i) v(i, i) = T(1);
+  Matrix<T> at(n, m);  // at row j = column j of A
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) at(j, i) = a(i, j);
+  }
+  // V^T accumulates the right rotations (row i = column i of V).
+  Matrix<T> vt(n, n);
+  for (std::size_t i = 0; i < n; ++i) vt(i, i) = T(1);
 
   constexpr int kMaxSweeps = 12;
   for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         T app(0), aqq(0), apq(0);
-        for (std::size_t i = 0; i < m; ++i) {
-          app += a(i, p) * a(i, p);
-          aqq += a(i, q) * a(i, q);
-          apq += a(i, p) * a(i, q);
-        }
+        detail::JacobiColumnDots(m, at.row(p), 1, at.row(q), 1, &app, &aqq, &apq);
         const double apq_d = AsDouble(apq);
         const double den_d = AsDouble(app) * AsDouble(aqq);
         if (!(apq_d * apq_d > 1e-30 * den_d)) continue;  // already orthogonal
@@ -92,18 +223,8 @@ Vector<T> SolveLsqSvd(Matrix<T> a, const Vector<T>& b) {
         }
         const T c = T(1) / sqrt(T(1) + t * t);
         const T s = c * t;
-        for (std::size_t i = 0; i < m; ++i) {
-          const T aip = a(i, p);
-          const T aiq = a(i, q);
-          a(i, p) = c * aip - s * aiq;
-          a(i, q) = s * aip + c * aiq;
-        }
-        for (std::size_t i = 0; i < n; ++i) {
-          const T vip = v(i, p);
-          const T viq = v(i, q);
-          v(i, p) = c * vip - s * viq;
-          v(i, q) = s * vip + c * viq;
-        }
+        detail::StridedRot(m, at.row(p), 1, at.row(q), 1, c, s);
+        detail::StridedRot(n, vt.row(p), 1, vt.row(q), 1, c, s);
       }
     }
   }
@@ -112,13 +233,11 @@ Vector<T> SolveLsqSvd(Matrix<T> a, const Vector<T>& b) {
   // A' = U S the rotated columns, i.e. x = sum_j v_j (u_j . b) / s_j.
   Vector<T> x(n);
   for (std::size_t j = 0; j < n; ++j) {
-    T s2(0);
-    for (std::size_t i = 0; i < m; ++i) s2 += a(i, j) * a(i, j);
-    T proj(0);
-    for (std::size_t i = 0; i < m; ++i) proj += a(i, j) * b[i];
+    const T s2 = detail::StridedDotAcc(T(0), m, at.row(j), 1, at.row(j), 1);
+    const T proj = detail::StridedDotAcc(T(0), m, at.row(j), 1, b.data(), 1);
     if (AsDouble(s2) <= 1e-24) continue;  // null direction: pseudo-inverse drops it
     const T coef = proj / s2;
-    for (std::size_t i = 0; i < n; ++i) x[i] += coef * v(i, j);
+    detail::StridedAxpy(n, coef, vt.row(j), 1, x.data(), 1);
   }
   return x;
 }
@@ -129,25 +248,28 @@ Vector<T> SolveLsqCholesky(const Matrix<T>& a, const Vector<T>& b) {
   using std::sqrt;
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
-  Matrix<T> g(n, n);  // A^T A
+  const std::ptrdiff_t col = static_cast<std::ptrdiff_t>(n);  // column stride
+  Matrix<T> at(n, m);  // at row j = column j of A (reliable copies, no FP op)
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t j = 0; j < n; ++j) at(j, r) = a(r, j);
+  }
+  Matrix<T> g(n, n);  // A^T A over contiguous column rows
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i; j < n; ++j) {
-      T acc(0);
-      for (std::size_t r = 0; r < m; ++r) acc += a(r, i) * a(r, j);
+      const T acc = detail::StridedDotAcc(T(0), m, at.row(i), 1, at.row(j), 1);
       g(i, j) = acc;
       g(j, i) = acc;
     }
   }
-  Vector<T> c(n);  // A^T b
-  for (std::size_t r = 0; r < m; ++r) {
-    for (std::size_t j = 0; j < n; ++j) c[j] += a(r, j) * b[r];
+  Vector<T> c(n);  // A^T b: c[j] = column_j . b, one contiguous dot per entry
+  for (std::size_t j = 0; j < n; ++j) {
+    c[j] = detail::StridedDotAcc(T(0), m, at.row(j), 1, b.data(), 1);
   }
   // Cholesky G = L L^T (in place, lower triangle).
   Matrix<T> l(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j <= i; ++j) {
-      T acc = g(i, j);
-      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      T acc = detail::StridedDotAccNeg(g(i, j), j, l.row(i), 1, l.row(j), 1);
       if (i == j) {
         l(i, j) = sqrt(acc);
       } else {
@@ -158,14 +280,16 @@ Vector<T> SolveLsqCholesky(const Matrix<T>& a, const Vector<T>& b) {
   // Forward then back substitution.
   Vector<T> y(n);
   for (std::size_t i = 0; i < n; ++i) {
-    T acc = c[i];
-    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+    T acc = detail::StridedDotAccNeg(c[i], i, l.row(i), 1, y.data(), 1);
     y[i] = acc / l(i, i);
   }
   Vector<T> x(n);
   for (std::size_t i = n; i-- > 0;) {
     T acc = y[i];
-    for (std::size_t k = i + 1; k < n; ++k) acc -= l(k, i) * x[k];
+    if (i + 1 < n) {
+      acc = detail::StridedDotAccNeg(acc, n - i - 1, &l(i + 1, i), col,
+                                     x.data() + i + 1, 1);
+    }
     x[i] = acc / l(i, i);
   }
   return x;

@@ -37,6 +37,12 @@ template <class T>
 void MatVecInto(const Matrix<T>& a, const Vector<T>& x, Vector<T>* y) {
   y->resize(a.rows());
   const std::size_t rows = a.rows(), cols = a.cols();
+  if (detail::UseBlockKernels<T>() && detail::BulkMatVecProfitable() && rows > 0) {
+    blas::MatVecInto(rows, cols, faulty::AsDoubleArray(a.row(0)),
+                     faulty::AsDoubleArray(x.data()),
+                     faulty::AsDoubleArray(y->data()));
+    return;
+  }
   const T* ROBUSTIFY_RESTRICT xp = x.data();
   T* ROBUSTIFY_RESTRICT yp = y->data();
   for (std::size_t i = 0; i < rows; ++i) {
@@ -53,6 +59,12 @@ template <class T>
 void MatTVecInto(const Matrix<T>& a, const Vector<T>& x, Vector<T>* y) {
   y->resize(a.cols());
   const std::size_t rows = a.rows(), cols = a.cols();
+  if (detail::UseBlockKernels<T>() && detail::BulkMatVecProfitable() && rows > 0) {
+    blas::MatTVecInto(rows, cols, faulty::AsDoubleArray(a.row(0)),
+                      faulty::AsDoubleArray(x.data()),
+                      faulty::AsDoubleArray(y->data()));
+    return;
+  }
   const T* ROBUSTIFY_RESTRICT xp = x.data();
   T* ROBUSTIFY_RESTRICT yp = y->data();
   for (std::size_t j = 0; j < cols; ++j) yp[j] = T(0);

@@ -8,8 +8,12 @@
 #include <cmath>
 #include <cstddef>
 #include <initializer_list>
+#include <type_traits>
 #include <vector>
 
+#include "faulty/block_engine.h"
+#include "faulty/real.h"
+#include "linalg/faulty_blas.h"
 #include "linalg/scalar.h"
 
 // No-alias annotation for hot loops over pooled scratch buffers.  A buffer
@@ -63,11 +67,125 @@ class Vector {
   std::vector<T> data_;
 };
 
+namespace detail {
+
+// The engine fork every faulty::Real kernel takes: block dispatches to the
+// bulk faulty-BLAS layer, scalar (the equivalence oracle) falls through to
+// the templated per-op loop below it.  `double` data never forks — clean
+// math touches the injector in neither engine.
+template <class T>
+inline bool UseBlockKernels() {
+  if constexpr (std::is_same_v<T, faulty::Real>) {
+    return faulty::BlockEngineActive();
+  } else {
+    return false;
+  }
+}
+
+// Short-row kernels (the solvers' 10-column matvec chains) lose to the
+// per-scalar path once the mean clean run shrinks below a row: the fault
+// machinery dominates and the bulk probe is pure overhead.  They
+// additionally gate on the active injector's rate
+// (FaultInjector::kBulkProfitableMaxRate); the long contiguous kernels keep
+// bulk runs at every rate.  Purely a speed choice — both paths are
+// bit-identical.
+inline bool BulkMatVecProfitable() {
+  const faulty::FaultInjector* inj = faulty::detail::tls_injector;
+  return inj == nullptr || inj->BulkProfitable();
+}
+
+}  // namespace detail
+
 template <class T>
 T Dot(const Vector<T>& a, const Vector<T>& b) {
+  if (detail::UseBlockKernels<T>()) {
+    return T(blas::DotAcc(a.size(), 0.0, faulty::AsDoubleArray(a.data()), 1,
+                          faulty::AsDoubleArray(b.data()), 1));
+  }
   T acc(0);
   for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
   return acc;
+}
+
+// y += alpha * x — the Axpy update under CG, SGD, and power iteration.
+// x and y must not alias.
+template <class T>
+void AxpyInPlace(const T& alpha, const Vector<T>& x, Vector<T>* y) {
+  const std::size_t n = x.size();
+  if (detail::UseBlockKernels<T>()) {
+    blas::Axpy(n, AsDouble(alpha), faulty::AsDoubleArray(x.data()), 1,
+               faulty::AsDoubleArray(y->data()), 1);
+    return;
+  }
+  const T* ROBUSTIFY_RESTRICT xp = x.data();
+  T* ROBUSTIFY_RESTRICT yp = y->data();
+  for (std::size_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+}
+
+// y -= alpha * x.  x and y must not alias.
+template <class T>
+void AxmyInPlace(const T& alpha, const Vector<T>& x, Vector<T>* y) {
+  const std::size_t n = x.size();
+  if (detail::UseBlockKernels<T>()) {
+    blas::Axmy(n, AsDouble(alpha), faulty::AsDoubleArray(x.data()), 1,
+               faulty::AsDoubleArray(y->data()), 1);
+    return;
+  }
+  const T* ROBUSTIFY_RESTRICT xp = x.data();
+  T* ROBUSTIFY_RESTRICT yp = y->data();
+  for (std::size_t i = 0; i < n; ++i) yp[i] -= alpha * xp[i];
+}
+
+// y -= x.  x and y must not alias.
+template <class T>
+void SubInPlace(const Vector<T>& x, Vector<T>* y) {
+  const std::size_t n = x.size();
+  if (detail::UseBlockKernels<T>()) {
+    blas::Sub(n, faulty::AsDoubleArray(x.data()), faulty::AsDoubleArray(y->data()));
+    return;
+  }
+  const T* ROBUSTIFY_RESTRICT xp = x.data();
+  T* ROBUSTIFY_RESTRICT yp = y->data();
+  for (std::size_t i = 0; i < n; ++i) yp[i] -= xp[i];
+}
+
+// p = s + beta * p — the CG search-direction recurrence.  s and p must not
+// alias.
+template <class T>
+void XpbyInPlace(const Vector<T>& s, const T& beta, Vector<T>* p) {
+  const std::size_t n = s.size();
+  if (detail::UseBlockKernels<T>()) {
+    blas::Xpby(n, faulty::AsDoubleArray(s.data()), AsDouble(beta),
+               faulty::AsDoubleArray(p->data()));
+    return;
+  }
+  const T* ROBUSTIFY_RESTRICT sp = s.data();
+  T* ROBUSTIFY_RESTRICT pp = p->data();
+  for (std::size_t i = 0; i < n; ++i) pp[i] = sp[i] + beta * pp[i];
+}
+
+// x /= divisor (one faulty division per element).
+template <class T>
+void DivInPlace(const T& divisor, Vector<T>* x) {
+  const std::size_t n = x->size();
+  if (detail::UseBlockKernels<T>()) {
+    blas::DivScal(n, AsDouble(divisor), faulty::AsDoubleArray(x->data()));
+    return;
+  }
+  T* ROBUSTIFY_RESTRICT xp = x->data();
+  for (std::size_t i = 0; i < n; ++i) xp[i] = xp[i] / divisor;
+}
+
+// x *= alpha (one faulty multiplication per element).
+template <class T>
+void ScalInPlace(const T& alpha, Vector<T>* x) {
+  const std::size_t n = x->size();
+  if (detail::UseBlockKernels<T>()) {
+    blas::Scal(n, AsDouble(alpha), faulty::AsDoubleArray(x->data()));
+    return;
+  }
+  T* ROBUSTIFY_RESTRICT xp = x->data();
+  for (std::size_t i = 0; i < n; ++i) xp[i] = xp[i] * alpha;
 }
 
 template <class T>
@@ -77,6 +195,9 @@ T NormSquared(const Vector<T>& v) {
 
 template <class T>
 T Norm(const Vector<T>& v) {
+  if (detail::UseBlockKernels<T>()) {
+    return T(blas::Nrm2(v.size(), faulty::AsDoubleArray(v.data())));
+  }
   using std::sqrt;
   return sqrt(NormSquared(v));
 }

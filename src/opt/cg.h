@@ -69,7 +69,7 @@ void SolveCglsInto(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
       }
       r.CopyFrom(b);
       MatVecInto(a, x, &ax);
-      for (std::size_t i = 0; i < r.size(); ++i) r[i] -= ax[i];
+      SubInPlace(ax, &r);
       MatTVecInto(a, r, &s);
       p.CopyFrom(s);
       gamma = NormSquared(s);
@@ -84,8 +84,8 @@ void SolveCglsInto(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
       need_restart = true;
       continue;
     }
-    for (std::size_t j = 0; j < n; ++j) x[j] += alpha * p[j];
-    for (std::size_t i = 0; i < r.size(); ++i) r[i] -= alpha * q[i];
+    AxpyInPlace(alpha, p, &x);
+    AxmyInPlace(alpha, q, &r);
     MatTVecInto(a, r, &s);
     const T gamma_new = NormSquared(s);
     const T beta = gamma_new / gamma;
@@ -93,7 +93,7 @@ void SolveCglsInto(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
       need_restart = true;
       continue;
     }
-    for (std::size_t j = 0; j < n; ++j) p[j] = s[j] + beta * p[j];
+    XpbyInPlace(s, beta, &p);
     gamma = gamma_new;
   }
 
@@ -103,7 +103,7 @@ void SolveCglsInto(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
   }
   r.CopyFrom(b);
   MatVecInto(a, x, &ax);
-  for (std::size_t i = 0; i < r.size(); ++i) r[i] -= ax[i];
+  SubInPlace(ax, &r);
 
   result->x.resize(n);
   for (std::size_t j = 0; j < n; ++j) result->x[j] = AsDouble(x[j]);

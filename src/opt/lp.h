@@ -16,6 +16,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -37,11 +38,25 @@ class PenalizedLp {
               std::vector<double> lower, std::vector<double> upper, double weight,
               bool precondition)
       : cost_(std::move(cost)),
-        constraints_(std::move(constraints)),
         lower_(std::move(lower)),
         upper_(std::move(upper)),
         weight_(weight),
         precondition_(precondition) {
+    // Flatten the constraint rows into CSR form once: Value and Gradient
+    // walk only each row's nonzeros through two flat arrays (index, coef)
+    // instead of chasing a vector-of-vectors — the constraint scan is the
+    // inner loop of every descent step on the LP apps.
+    row_ptr_.reserve(constraints.size() + 1);
+    row_ptr_.push_back(0);
+    for (const LpConstraint& con : constraints) {
+      for (const auto& [j, coef] : con.terms) {
+        idx_.push_back(j);
+        coef_.push_back(coef);
+      }
+      row_ptr_.push_back(idx_.size());
+      rhs_.push_back(con.rhs);
+      equality_.push_back(con.equality);
+    }
     if (precondition_) BuildPreconditioner();
   }
 
@@ -53,13 +68,16 @@ class PenalizedLp {
     const T w(weight_ * penalty_scale_);
     T value(0);
     for (std::size_t j = 0; j < cost_.size(); ++j) value += T(cost_[j]) * x[j];
-    for (const LpConstraint& con : constraints_) {
+    const std::size_t rows = rhs_.size();
+    for (std::size_t row = 0; row < rows; ++row) {
       T lhs(0);
-      for (const auto& [j, coef] : con.terms) lhs += T(coef) * x[static_cast<std::size_t>(j)];
-      T viol = lhs - T(con.rhs);
+      for (std::size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+        lhs += T(coef_[k]) * x[static_cast<std::size_t>(idx_[k])];
+      }
+      T viol = lhs - T(rhs_[row]);
       // Penalty activity is a branch decision: taken by the reliable
       // controller on the stored value (the value itself is faulty).
-      if (!con.equality && !(linalg::AsDouble(viol) > 0.0)) viol = T(0);
+      if (!equality_[row] && !(linalg::AsDouble(viol) > 0.0)) viol = T(0);
       value += w * viol * viol;
     }
     for (std::size_t j = 0; j < cost_.size(); ++j) {
@@ -74,14 +92,18 @@ class PenalizedLp {
   void Gradient(const linalg::Vector<T>& x, linalg::Vector<T>* g) const {
     const T two_w(2.0 * weight_ * penalty_scale_);
     for (std::size_t j = 0; j < cost_.size(); ++j) (*g)[j] = T(cost_[j]);
-    for (const LpConstraint& con : constraints_) {
+    const std::size_t rows = rhs_.size();
+    for (std::size_t row = 0; row < rows; ++row) {
+      const std::size_t lo = row_ptr_[row], hi = row_ptr_[row + 1];
       T lhs(0);
-      for (const auto& [j, coef] : con.terms) lhs += T(coef) * x[static_cast<std::size_t>(j)];
-      T viol = lhs - T(con.rhs);
-      if (!con.equality && !(linalg::AsDouble(viol) > 0.0)) continue;
+      for (std::size_t k = lo; k < hi; ++k) {
+        lhs += T(coef_[k]) * x[static_cast<std::size_t>(idx_[k])];
+      }
+      T viol = lhs - T(rhs_[row]);
+      if (!equality_[row] && !(linalg::AsDouble(viol) > 0.0)) continue;
       const T scale = two_w * viol;
-      for (const auto& [j, coef] : con.terms) {
-        (*g)[static_cast<std::size_t>(j)] += T(coef) * scale;
+      for (std::size_t k = lo; k < hi; ++k) {
+        (*g)[static_cast<std::size_t>(idx_[k])] += T(coef_[k]) * scale;
       }
     }
     for (std::size_t j = 0; j < cost_.size(); ++j) {
@@ -116,10 +138,8 @@ class PenalizedLp {
     // uniformly shrinking the effective step.
     inv_diag_.assign(cost_.size(), 1.0);
     std::vector<double> diag(cost_.size(), 1.0);
-    for (const LpConstraint& con : constraints_) {
-      for (const auto& [j, coef] : con.terms) {
-        diag[static_cast<std::size_t>(j)] += 2.0 * weight_ * coef * coef;
-      }
+    for (std::size_t k = 0; k < idx_.size(); ++k) {
+      diag[static_cast<std::size_t>(idx_[k])] += 2.0 * weight_ * coef_[k] * coef_[k];
     }
     double mean = 0.0;
     for (const double d : diag) mean += d / static_cast<double>(diag.size());
@@ -127,7 +147,14 @@ class PenalizedLp {
   }
 
   std::vector<double> cost_;
-  std::vector<LpConstraint> constraints_;
+  // Constraint rows in CSR form: row r's nonzeros are (idx_[k], coef_[k])
+  // for k in [row_ptr_[r], row_ptr_[r+1]), with right-hand side rhs_[r] and
+  // sense equality_[r].
+  std::vector<std::size_t> row_ptr_;
+  std::vector<int> idx_;
+  std::vector<double> coef_;
+  std::vector<double> rhs_;
+  std::vector<std::uint8_t> equality_;
   std::vector<double> lower_;
   std::vector<double> upper_;
   double weight_;

@@ -203,6 +203,51 @@ TEST(AllocationFree, CglsUnderFaultInjection) {
   EXPECT_EQ(allocations, 0) << "faulty CGLS solve allocated on a warmed workspace";
 }
 
+// The block-engine kernels (linalg/faulty_blas.h) must uphold the same
+// contract: bulk clean runs borrow no scratch and the engine fork itself
+// allocates nothing.  Pin each engine explicitly — the kAuto default would
+// let ROBUSTIFY_ENGINE silently test one path twice.
+TEST(AllocationFree, BlockAndScalarEnginesAllocationFreeAfterWarmup) {
+  const apps::LsqProblem problem = apps::MakeRandomLsqProblem(40, 8, 37);
+  for (const faulty::Engine engine :
+       {faulty::Engine::kBlock, faulty::Engine::kScalar}) {
+    opt::Workspace<faulty::Real> ws;
+    const linalg::Matrix<faulty::Real> a = linalg::Cast<faulty::Real>(problem.a);
+    const linalg::Vector<faulty::Real> b = linalg::Cast<faulty::Real>(problem.b);
+    apps::detail::LsqObjective<faulty::Real> objective(a, b, &ws);
+    const opt::SgdOptions options = EverythingOnSgd(40);
+    opt::CgOptions cg;
+    cg.iterations = 12;
+    cg.restart_every = 4;
+
+    core::FaultEnvironment env;
+    env.fault_rate = 0.01;  // bulk runs a few elements long: many boundaries
+    env.seed = 43;
+    env.engine = engine;
+
+    linalg::Vector<faulty::Real> warm(a.cols());
+    opt::CgResult cg_result;
+    core::WithFaultyFpu(env, [&] {
+      warm = opt::MinimizeSgd(objective, std::move(warm), options, &ws);
+      opt::SolveCglsInto(a, b, cg, &ws, &cg_result);
+    });
+
+    linalg::Vector<faulty::Real> x(a.cols());
+    std::int64_t allocations;
+    {
+      AllocationProbe probe;
+      core::WithFaultyFpu(env, [&] {
+        x = opt::MinimizeSgd(objective, std::move(x), options, &ws);
+        opt::SolveCglsInto(a, b, cg, &ws, &cg_result);
+      });
+      allocations = ArmedAllocations();
+    }
+    EXPECT_EQ(allocations, 0)
+        << (engine == faulty::Engine::kBlock ? "block" : "scalar")
+        << " engine allocated on a warmed workspace";
+  }
+}
+
 // The thread-local default workspace gives whole app kernels the same
 // guarantee across trials without any caller plumbing: the second
 // RobustSort on this thread reuses the first one's buffers.
