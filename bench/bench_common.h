@@ -88,6 +88,8 @@ class BenchContext {
         report_.engine = "auto";  // resolves to block at dispatch time
         break;
     }
+    // Unset (kAuto) maps to "" and is omitted from the report.
+    report_.rng = faulty::RngModeName(faulty::EnvRngMode());
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg.rfind("--trials=", 0) == 0) {

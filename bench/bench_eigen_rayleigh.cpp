@@ -3,21 +3,15 @@
 // The paper sketches this formulation without measurements; this bench
 // sweeps the fault rate and reports the relative eigenvalue error of the
 // top-3 pairs against the reliable Jacobi oracle.
-#include <cmath>
-#include <random>
-
-#include "apps/eigen_app.h"
+//
+// Axis, seed, and series definitions live in the campaign registry
+// (src/campaign/spec.cpp + scenarios.cpp); this main is presentation only.
 #include "bench/bench_common.h"
-#include "core/phases.h"
-#include "linalg/random.h"
-
-namespace {
-
-using namespace robustify;
-
-}  // namespace
+#include "campaign/scenarios.h"
+#include "campaign/spec.h"
 
 int main(int argc, char** argv) {
+  using namespace robustify;
   bench::BenchContext ctx("eigen_rayleigh", argc, argv);
   bench::Banner(
       "Eigenpairs via Rayleigh quotient ascent (Section 4.7)",
@@ -25,40 +19,11 @@ int main(int argc, char** argv) {
       "eigenvalue error grows smoothly with fault rate instead of "
       "collapsing; the ascent remains finite at every rate");
 
-  std::mt19937_64 rng(72);
-  const linalg::Matrix<double> a = linalg::RandomSymmetricMatrix(8, rng);
-  const auto oracle = apps::JacobiEigenSym(a);
-
-  harness::SweepConfig sweep;
-  sweep.fault_rates = {0.0, 0.001, 0.01, 0.05, 0.1};
-  sweep.trials = 6;
-  sweep.base_seed = 72;
-
-  const auto variant = [&](std::size_t k) {
-    return [&a, &oracle, k](const core::FaultEnvironment& env) {
-      harness::TrialOutcome out;
-      apps::RayleighOptions options;
-      options.iterations = 400;
-      const auto pairs = core::WithFaultyFpu(
-          env, [&] { return apps::TopEigenpairsRayleigh<faulty::Real>(a, k + 1, options); },
-          &out.fpu_stats);
-      const double got = pairs.back().value;
-      const double want = oracle[k].value;
-      out.metric = std::abs(got - want) / std::max(1e-9, std::abs(want));
-      out.success = out.metric < 0.05;
-      return out;
-    };
-  };
-
-  const auto series = ctx.RunSweep(
-      "rayleigh", sweep,
-      {
-                 {"lambda_1", variant(0)},
-                 {"lambda_2", variant(1)},
-                 {"lambda_3", variant(2)},
-             });
-  bench::EmitSweep("Rayleigh eigenpairs: median relative eigenvalue error", series,
-                   harness::TableValue::kMedianMetric, "median |l - l*| / |l*|",
-                   "eigen_rayleigh.csv");
+  const campaign::CampaignSpec& spec = campaign::RegistrySpec("eigen_rayleigh");
+  const campaign::Scenario scenario = campaign::BuildScenario(spec);
+  const auto series =
+      ctx.RunSweep("rayleigh", campaign::ToSweepConfig(spec), scenario.series);
+  bench::EmitSweep(scenario.title, series, scenario.value, scenario.value_label,
+                   scenario.csv_name);
   return ctx.Finish();
 }

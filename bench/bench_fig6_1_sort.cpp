@@ -3,40 +3,15 @@
 // Series (paper legend): Base (comparison sort), SGD (plain, linear step
 // scaling), SGD+AS,LS and SGD+AS,SQS — 10 000 descent iterations, 5-element
 // arrays, success = entire array sorted exactly (NaN or mis-order = failure).
-#include <random>
-
-#include "apps/configs.h"
-#include "apps/sort_app.h"
+//
+// Axis, seed, and series definitions live in the campaign registry
+// (src/campaign/spec.cpp + scenarios.cpp); this main is presentation only.
 #include "bench/bench_common.h"
-#include "core/phases.h"
-
-namespace {
-
-using namespace robustify;
-
-std::vector<double> MakeInput(std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  std::uniform_real_distribution<double> dist(0.0, 1.0);
-  std::vector<double> v(5);
-  for (double& x : v) x = dist(rng);
-  return v;
-}
-
-harness::TrialFn SortVariant(const apps::LpSolveConfig& config) {
-  return [config](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const std::vector<double> input = MakeInput(env.seed * 7919);
-    const apps::RobustSortResult r = core::WithFaultyFpu(
-        env, [&] { return apps::RobustSort<faulty::Real>(input, config); },
-        &out.fpu_stats);
-    out.success = r.valid && apps::IsSortedCopyOf(r.output, input);
-    return out;
-  };
-}
-
-}  // namespace
+#include "campaign/scenarios.h"
+#include "campaign/spec.h"
 
 int main(int argc, char** argv) {
+  using namespace robustify;
   bench::BenchContext ctx("fig6_1_sort", argc, argv);
   bench::Banner(
       "Figure 6.1 - Accuracy of Sort (10000 iterations)",
@@ -45,31 +20,11 @@ int main(int argc, char** argv) {
       "performs poorly; sqrt scaling (SQS) keeps success high even at large "
       "fault rates");
 
-  harness::SweepConfig sweep;
-  sweep.fault_rates = {0.0, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5};
-  sweep.trials = 10;
-  sweep.base_seed = 61;
-
-  const harness::TrialFn base = [](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const std::vector<double> input = MakeInput(env.seed * 7919);
-    const std::vector<double> sorted = core::WithFaultyFpu(
-        env, [&] { return apps::BaselineSort<faulty::Real>(input); },
-        &out.fpu_stats);
-    out.success = apps::IsSortedCopyOf(sorted, input);
-    return out;
-  };
-
-  const auto series = ctx.RunSweep(
-      "sort", sweep,
-      {
-                 {"Base", base},
-                 {"SGD", SortVariant(apps::SortSgdLs())},
-                 {"SGD+AS,LS", SortVariant(apps::SortSgdAsLs())},
-                 {"SGD+AS,SQS", SortVariant(apps::SortSgdAsSqs())},
-             });
-  bench::EmitSweep("Accuracy of Sort - 10000 Iterations", series,
-                   harness::TableValue::kSuccessRatePct, "success rate (%)",
-                   "fig6_1_sort.csv");
+  const campaign::CampaignSpec& spec = campaign::RegistrySpec("fig6_1");
+  const campaign::Scenario scenario = campaign::BuildScenario(spec);
+  const auto series =
+      ctx.RunSweep("sort", campaign::ToSweepConfig(spec), scenario.series);
+  bench::EmitSweep(scenario.title, series, scenario.value, scenario.value_label,
+                   scenario.csv_name);
   return ctx.Finish();
 }

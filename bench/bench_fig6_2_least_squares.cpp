@@ -4,32 +4,15 @@
 // A is 100x10, b is 100x1; quality = relative error w.r.t. the exact
 // solution computed offline.  The paper notes that SQS "results in errors
 // larger than 1.0"; an SGD,SQS series is included to show that too.
-#include "apps/configs.h"
-#include "apps/least_squares.h"
+//
+// Axis, seed, and series definitions live in the campaign registry
+// (src/campaign/spec.cpp + scenarios.cpp); this main is presentation only.
 #include "bench/bench_common.h"
-#include "core/phases.h"
-#include "signal/metrics.h"
-
-namespace {
-
-using namespace robustify;
-
-harness::TrialFn SgdVariant(const apps::LsqProblem& problem,
-                            const opt::SgdOptions& options) {
-  return [&problem, options](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const linalg::Vector<double> x = core::WithFaultyFpu(
-        env, [&] { return apps::SolveLsqSgd<faulty::Real>(problem, options); },
-        &out.fpu_stats);
-    out.metric = signal::RelativeError(x, problem.exact);
-    out.success = out.metric < 1e-2;
-    return out;
-  };
-}
-
-}  // namespace
+#include "campaign/scenarios.h"
+#include "campaign/spec.h"
 
 int main(int argc, char** argv) {
+  using namespace robustify;
   bench::BenchContext ctx("fig6_2_least_squares", argc, argv);
   bench::Banner(
       "Figure 6.2 - Accuracy of Least Squares (1000 iterations)",
@@ -38,42 +21,12 @@ int main(int argc, char** argv) {
       "scaling stays accurate (paper: within 1e-6% with AS at low rates); "
       "sqrt scaling gives errors larger than 1.0 on this problem");
 
-  const apps::LsqProblem problem = apps::MakeRandomLsqProblem(100, 10, 7);
-
-  harness::SweepConfig sweep;
-  sweep.fault_rates = {0.0, 0.0001, 0.001, 0.01, 0.05, 0.1};
-  sweep.trials = 10;
-  sweep.base_seed = 62;
-
-  const harness::TrialFn base_svd = [&problem](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const linalg::Vector<double> x = core::WithFaultyFpu(
-        env,
-        [&] {
-          return apps::SolveLsqBaseline<faulty::Real>(problem,
-                                                      linalg::LsqBaseline::kSvd);
-        },
-        &out.fpu_stats);
-    out.metric = signal::RelativeError(x, problem.exact);
-    out.success = out.metric < 1e-2;
-    return out;
-  };
-
-  // SGD with sqrt scaling uses the LSQ-tuned base step; the large-step
-  // early phase is what inflates its error on this objective.
-  opt::SgdOptions sqs = apps::LsqSgdAsSqs();
-
-  const auto series = ctx.RunSweep(
-      "lsq", sweep,
-      {
-                 {"Base:SVD", base_svd},
-                 {"SGD,LS", SgdVariant(problem, apps::LsqSgdLs())},
-                 {"SGD+AS,LS", SgdVariant(problem, apps::LsqSgdAsLs())},
-                 {"SGD+AS,SQS", SgdVariant(problem, sqs)},
-             });
-  bench::EmitSweep("Accuracy of Least Squares - 1000 Iterations (median rel. error)",
-                   series, harness::TableValue::kMedianMetric,
-                   "median relative error w.r.t. ideal", "fig6_2_least_squares.csv");
+  const campaign::CampaignSpec& spec = campaign::RegistrySpec("fig6_2");
+  const campaign::Scenario scenario = campaign::BuildScenario(spec);
+  const auto series =
+      ctx.RunSweep("lsq", campaign::ToSweepConfig(spec), scenario.series);
+  bench::EmitSweep(scenario.title, series, scenario.value, scenario.value_label,
+                   scenario.csv_name);
   bench::EmitSweep("Accuracy of Least Squares - success rate (rel. error < 1e-2)",
                    series, harness::TableValue::kSuccessRatePct, "success rate (%)",
                    "fig6_2_least_squares_success.csv");

@@ -3,35 +3,18 @@
 // Series (paper legend): Base (feed-forward recursion), SGD,LS, SGD+AS,LS,
 // SGD+AS,SQS — 1000 iterations, 10-tap filter (5 feed-forward + 5 feedback),
 // 500 input samples; quality = ||y - y*|| / ||y*||.
-#include "apps/configs.h"
-#include "apps/iir_app.h"
+//
+// Axis, seed, and series definitions live in the campaign registry
+// (src/campaign/spec.cpp + scenarios.cpp); this main is presentation only.
+// The axis stops at 2% faulty FLOPs: beyond that this fault model (binary64
+// with occasional exponent corruption) destabilizes the variational form as
+// well, and the interesting crossover lives below it.
 #include "bench/bench_common.h"
-#include "core/phases.h"
-#include "signal/metrics.h"
-#include "signal/signals.h"
-
-namespace {
-
-using namespace robustify;
-
-harness::TrialFn RobustVariant(const signal::IirCoefficients& coeffs,
-                               const linalg::Vector<double>& input,
-                               const linalg::Vector<double>& clean,
-                               const opt::SgdOptions& options) {
-  return [&coeffs, &input, &clean, options](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const linalg::Vector<double> y = core::WithFaultyFpu(
-        env, [&] { return apps::RobustIir<faulty::Real>(coeffs, input, options); },
-        &out.fpu_stats);
-    out.metric = signal::ErrorToSignalRatio(y, clean);
-    out.success = out.metric < 1e-2;
-    return out;
-  };
-}
-
-}  // namespace
+#include "campaign/scenarios.h"
+#include "campaign/spec.h"
 
 int main(int argc, char** argv) {
+  using namespace robustify;
   bench::BenchContext ctx("fig6_3_iir", argc, argv);
   bench::Banner(
       "Figure 6.3 - Accuracy of IIR (1000 iterations)",
@@ -40,39 +23,11 @@ int main(int argc, char** argv) {
       "variational (least-squares) form holds the error-to-signal ratio "
       "orders of magnitude lower once faults are frequent");
 
-  const signal::IirCoefficients coeffs = signal::MakeStableIir(5, 5, 63);
-  const linalg::Vector<double> input =
-      signal::SineMix(500, {3.0, 17.0, 41.0}, {1.0, 0.5, 0.25});
-  const linalg::Vector<double> clean = apps::BaselineIir<double>(coeffs, input);
-
-  // Beyond ~2% of FLOPs faulty, this fault model (binary64 with occasional
-  // exponent corruption) destabilizes the variational form as well — see
-  // EXPERIMENTS.md; the interesting crossover lives below that.
-  harness::SweepConfig sweep;
-  sweep.fault_rates = {0.0, 0.001, 0.005, 0.01, 0.02};
-  sweep.trials = 8;
-  sweep.base_seed = 63;
-
-  const harness::TrialFn base = [&](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const linalg::Vector<double> y = core::WithFaultyFpu(
-        env, [&] { return apps::BaselineIir<faulty::Real>(coeffs, input); },
-        &out.fpu_stats);
-    out.metric = signal::ErrorToSignalRatio(y, clean);
-    out.success = out.metric < 1e-2;
-    return out;
-  };
-
-  const auto series = ctx.RunSweep(
-      "iir", sweep,
-      {
-                 {"Base", base},
-                 {"SGD,LS", RobustVariant(coeffs, input, clean, apps::IirSgdLs())},
-                 {"SGD+AS,LS", RobustVariant(coeffs, input, clean, apps::IirSgdAsLs())},
-                 {"SGD+AS,SQS", RobustVariant(coeffs, input, clean, apps::IirSgdAsSqs())},
-             });
-  bench::EmitSweep("Accuracy of IIR - 1000 Iterations (median error/signal)", series,
-                   harness::TableValue::kMedianMetric, "median ||y-y*||/||y*||",
-                   "fig6_3_iir.csv");
+  const campaign::CampaignSpec& spec = campaign::RegistrySpec("fig6_3");
+  const campaign::Scenario scenario = campaign::BuildScenario(spec);
+  const auto series =
+      ctx.RunSweep("iir", campaign::ToSweepConfig(spec), scenario.series);
+  bench::EmitSweep(scenario.title, series, scenario.value, scenario.value_label,
+                   scenario.csv_name);
   return ctx.Finish();
 }

@@ -7,31 +7,15 @@
 // The paper's headline for this figure: the plain quadratic-penalty SGD
 // variants plateau *below 50%* regardless of aggressive stepping / step
 // scaling — the enhancements of Figure 6.5 are needed to fix that.
-#include "apps/configs.h"
-#include "apps/matching_app.h"
+//
+// Axis, seed, and series definitions live in the campaign registry
+// (src/campaign/spec.cpp + scenarios.cpp); this main is presentation only.
 #include "bench/bench_common.h"
-#include "core/phases.h"
-#include "graph/generators.h"
-
-namespace {
-
-using namespace robustify;
-
-harness::TrialFn RobustVariant(const graph::BipartiteGraph& g,
-                               const apps::LpSolveConfig& config) {
-  return [&g, config](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const apps::MatchingResult r = core::WithFaultyFpu(
-        env, [&] { return apps::RobustMatching<faulty::Real>(g, config); },
-        &out.fpu_stats);
-    out.success = r.valid && apps::MatchesOptimal(g, r.matching);
-    return out;
-  };
-}
-
-}  // namespace
+#include "campaign/scenarios.h"
+#include "campaign/spec.h"
 
 int main(int argc, char** argv) {
+  using namespace robustify;
   bench::BenchContext ctx("fig6_4_matching", argc, argv);
   bench::Banner(
       "Figure 6.4 - Accuracy of Matching (10000 iterations)",
@@ -40,33 +24,11 @@ int main(int argc, char** argv) {
       "quadratic-penalty SGD shows little degradation with rate but its "
       "absolute success rate stays capped well below 100% (paper: <50%)");
 
-  // The paper's graph: 11 nodes, 30 edges (complete 5x6 bipartite).
-  const graph::BipartiteGraph g = graph::RandomBipartite(5, 6, 30, 3);
-
-  harness::SweepConfig sweep;
-  sweep.fault_rates = {0.0, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5};
-  sweep.trials = 10;
-  sweep.base_seed = 64;
-
-  const harness::TrialFn base = [&g](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const graph::Matching m = core::WithFaultyFpu(
-        env, [&] { return apps::BaselineMatching<faulty::Real>(g); },
-        &out.fpu_stats);
-    out.success = apps::MatchesOptimal(g, m);
-    return out;
-  };
-
-  const auto series = ctx.RunSweep(
-      "matching", sweep,
-      {
-                 {"Base", base},
-                 {"SGD,LS", RobustVariant(g, apps::MatchingBasicLs())},
-                 {"SGD+AS,LS", RobustVariant(g, apps::MatchingSgdAsLs())},
-                 {"SGD+AS,SQS", RobustVariant(g, apps::MatchingSgdAsSqs())},
-             });
-  bench::EmitSweep("Accuracy of Matching - 10000 Iterations", series,
-                   harness::TableValue::kSuccessRatePct, "success rate (%)",
-                   "fig6_4_matching.csv");
+  const campaign::CampaignSpec& spec = campaign::RegistrySpec("fig6_4");
+  const campaign::Scenario scenario = campaign::BuildScenario(spec);
+  const auto series =
+      ctx.RunSweep("matching", campaign::ToSweepConfig(spec), scenario.series);
+  bench::EmitSweep(scenario.title, series, scenario.value, scenario.value_label,
+                   scenario.csv_name);
   return ctx.Finish();
 }

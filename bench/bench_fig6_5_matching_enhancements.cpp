@@ -9,31 +9,15 @@
 //  * annealing the penalty weight gives the biggest single win (88% at ~50%
 //    fault rate in the paper);
 //  * ALL enhancements together reach ~100% even at a 50% fault rate.
-#include "apps/configs.h"
-#include "apps/matching_app.h"
+//
+// Axis, seed, and series definitions live in the campaign registry
+// (src/campaign/spec.cpp + scenarios.cpp); this main is presentation only.
 #include "bench/bench_common.h"
-#include "core/phases.h"
-#include "graph/generators.h"
-
-namespace {
-
-using namespace robustify;
-
-harness::TrialFn RobustVariant(const graph::BipartiteGraph& g,
-                               const apps::LpSolveConfig& config) {
-  return [&g, config](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const apps::MatchingResult r = core::WithFaultyFpu(
-        env, [&] { return apps::RobustMatching<faulty::Real>(g, config); },
-        &out.fpu_stats);
-    out.success = r.valid && apps::MatchesOptimal(g, r.matching);
-    return out;
-  };
-}
-
-}  // namespace
+#include "campaign/scenarios.h"
+#include "campaign/spec.h"
 
 int main(int argc, char** argv) {
+  using namespace robustify;
   bench::BenchContext ctx("fig6_5_matching_enhancements", argc, argv);
   bench::Banner(
       "Figure 6.5 - Matching enhancements (10000 iterations)",
@@ -42,36 +26,11 @@ int main(int argc, char** argv) {
       "dominates the single enhancements; ALL reaches ~100% even at 50% "
       "fault rate");
 
-  const graph::BipartiteGraph g = graph::RandomBipartite(5, 6, 30, 3);
-
-  harness::SweepConfig sweep;
-  sweep.fault_rates = {0.0, 0.02, 0.1, 0.3, 0.5};
-  sweep.trials = 8;
-  sweep.base_seed = 65;
-
-  const harness::TrialFn non_robust = [&g](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const graph::Matching m = core::WithFaultyFpu(
-        env, [&] { return apps::BaselineMatching<faulty::Real>(g); },
-        &out.fpu_stats);
-    out.success = apps::MatchesOptimal(g, m);
-    return out;
-  };
-
-  apps::LpSolveConfig all = apps::MatchingAll();
-
-  const auto series = ctx.RunSweep(
-      "matching-enhancements", sweep,
-      {
-                 {"Non-robust", non_robust},
-                 {"Basic,LS", RobustVariant(g, apps::MatchingBasicLs())},
-                 {"SQS", RobustVariant(g, apps::MatchingSqs())},
-                 {"PRECOND", RobustVariant(g, apps::MatchingPrecond())},
-                 {"ANNEAL", RobustVariant(g, apps::MatchingAnneal())},
-                 {"ALL", RobustVariant(g, all)},
-             });
-  bench::EmitSweep("Accuracy of Matching - enhancements", series,
-                   harness::TableValue::kSuccessRatePct, "success rate (%)",
-                   "fig6_5_matching_enhancements.csv");
+  const campaign::CampaignSpec& spec = campaign::RegistrySpec("fig6_5");
+  const campaign::Scenario scenario = campaign::BuildScenario(spec);
+  const auto series = ctx.RunSweep("matching-enhancements",
+                                   campaign::ToSweepConfig(spec), scenario.series);
+  bench::EmitSweep(scenario.title, series, scenario.value, scenario.value_label,
+                   scenario.csv_name);
   return ctx.Finish();
 }

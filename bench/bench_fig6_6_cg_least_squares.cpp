@@ -1,30 +1,14 @@
 // E8 / Figure 6.6: accuracy of CG-based least squares (10 iterations) vs the
 // QR / SVD / Cholesky direct baselines, as a function of fault rate.
-#include "apps/configs.h"
-#include "apps/least_squares.h"
+//
+// Axis, seed, and series definitions live in the campaign registry
+// (src/campaign/spec.cpp + scenarios.cpp); this main is presentation only.
 #include "bench/bench_common.h"
-#include "core/phases.h"
-#include "signal/metrics.h"
-
-namespace {
-
-using namespace robustify;
-
-harness::TrialFn Baseline(const apps::LsqProblem& problem, linalg::LsqBaseline which) {
-  return [&problem, which](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const linalg::Vector<double> x = core::WithFaultyFpu(
-        env, [&] { return apps::SolveLsqBaseline<faulty::Real>(problem, which); },
-        &out.fpu_stats);
-    out.metric = signal::RelativeError(x, problem.exact);
-    out.success = out.metric < 1e-3;
-    return out;
-  };
-}
-
-}  // namespace
+#include "campaign/scenarios.h"
+#include "campaign/spec.h"
 
 int main(int argc, char** argv) {
+  using namespace robustify;
   bench::BenchContext ctx("fig6_6_cg_least_squares", argc, argv);
   bench::Banner(
       "Figure 6.6 - Accuracy of Least Squares, CG N=10 vs direct baselines",
@@ -33,33 +17,11 @@ int main(int argc, char** argv) {
       "iterations of restarted CG track the exact answer to much higher "
       "rates (SVD is the most accurate baseline at rate ~0)");
 
-  const apps::LsqProblem problem = apps::MakeRandomLsqProblem(100, 10, 8);
-
-  harness::SweepConfig sweep;
-  sweep.fault_rates = {0.0, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
-  sweep.trials = 10;
-  sweep.base_seed = 66;
-
-  const harness::TrialFn cg = [&problem](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const opt::CgResult r = core::WithFaultyFpu(
-        env, [&] { return apps::SolveLsqCg<faulty::Real>(problem, apps::LsqCg(10)); },
-        &out.fpu_stats);
-    out.metric = signal::RelativeError(r.x, problem.exact);
-    out.success = out.metric < 1e-3;
-    return out;
-  };
-
-  const auto series = ctx.RunSweep(
-      "cg-lsq", sweep,
-      {
-                 {"Base:QR", Baseline(problem, linalg::LsqBaseline::kQr)},
-                 {"Base:SVD", Baseline(problem, linalg::LsqBaseline::kSvd)},
-                 {"Base:Cholesky", Baseline(problem, linalg::LsqBaseline::kCholesky)},
-                 {"CG,N=10", cg},
-             });
-  bench::EmitSweep("Accuracy of Least Squares (median relative error)", series,
-                   harness::TableValue::kMedianMetric, "median rel. error w.r.t. ideal",
-                   "fig6_6_cg_least_squares.csv");
+  const campaign::CampaignSpec& spec = campaign::RegistrySpec("fig6_6");
+  const campaign::Scenario scenario = campaign::BuildScenario(spec);
+  const auto series =
+      ctx.RunSweep("cg-lsq", campaign::ToSweepConfig(spec), scenario.series);
+  bench::EmitSweep(scenario.title, series, scenario.value, scenario.value_label,
+                   scenario.csv_name);
   return ctx.Finish();
 }

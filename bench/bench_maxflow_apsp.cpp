@@ -4,22 +4,15 @@
 // provides the missing sweep: solution quality of the LP robustification vs
 // the combinatorial baseline (Ford-Fulkerson / Floyd-Warshall) on the faulty
 // FPU, as a function of fault rate.
-#include "apps/apsp_app.h"
-#include "apps/configs.h"
-#include "apps/maxflow_app.h"
+//
+// Axis, seed, and series definitions live in the campaign registry
+// (src/campaign/spec.cpp + scenarios.cpp); this main is presentation only.
 #include "bench/bench_common.h"
-#include "core/phases.h"
-#include "graph/generators.h"
-#include "graph/maxflow.h"
-#include "graph/shortest_paths.h"
-
-namespace {
-
-using namespace robustify;
-
-}  // namespace
+#include "campaign/scenarios.h"
+#include "campaign/spec.h"
 
 int main(int argc, char** argv) {
+  using namespace robustify;
   bench::BenchContext ctx("maxflow_apsp", argc, argv);
   bench::Banner(
       "Max-flow and APSP robustification (Sections 4.5-4.6)",
@@ -28,68 +21,13 @@ int main(int argc, char** argv) {
       "combinatorial baselines lose correctness as fault rate grows; the LP "
       "penalty forms degrade gracefully");
 
-  harness::SweepConfig sweep;
-  sweep.fault_rates = {0.0, 0.01, 0.05, 0.1, 0.2};
-  sweep.trials = 6;
-  sweep.base_seed = 71;
-
-  // ---- max flow: relative flow-value error ---------------------------------
-  const graph::FlowNetwork net = graph::RandomFlowNetwork(6, 6, 12);
-  const double exact_flow = graph::PushRelabelMaxFlow(net);
-
-  const harness::TrialFn flow_base = [&](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const graph::MaxFlowResult r = core::WithFaultyFpu(
-        env, [&] { return graph::EdmondsKarpMaxFlow<faulty::Real>(net); },
-        &out.fpu_stats);
-    out.metric = std::abs(r.value - exact_flow) / exact_flow;
-    out.success = out.metric < 1e-6;
-    return out;
-  };
-  const harness::TrialFn flow_robust = [&](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const apps::FlowResult r = core::WithFaultyFpu(
-        env,
-        [&] { return apps::RobustMaxFlow<faulty::Real>(net, apps::MaxFlowConfig()); },
-        &out.fpu_stats);
-    out.metric = r.valid ? std::abs(r.value - exact_flow) / exact_flow : 1e9;
-    out.success = r.valid && out.metric < 0.05;
-    return out;
-  };
-
-  const auto flow_series = ctx.RunSweep(
-      "maxflow", sweep, {{"Base: Ford-Fulkerson", flow_base}, {"SGD LP", flow_robust}});
-  bench::EmitSweep("Max flow: median relative flow-value error", flow_series,
-                   harness::TableValue::kMedianMetric, "median |F-F*|/F*",
-                   "maxflow.csv");
-
-  // ---- APSP: largest distance error ----------------------------------------
-  const graph::Digraph g = graph::RandomDigraph(5, 6, 15);
-  const linalg::Matrix<double> exact = graph::AllPairsDijkstra(g);
-
-  const harness::TrialFn apsp_base = [&](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const linalg::Matrix<double> d = core::WithFaultyFpu(
-        env, [&] { return linalg::ToDouble(graph::FloydWarshall<faulty::Real>(g)); },
-        &out.fpu_stats);
-    out.metric = apps::MaxAbsDistanceError(d, exact);
-    out.success = out.metric < 1e-6;
-    return out;
-  };
-  const harness::TrialFn apsp_robust = [&](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const apps::ApspResult r = core::WithFaultyFpu(
-        env, [&] { return apps::RobustApsp<faulty::Real>(g, apps::ApspConfig()); },
-        &out.fpu_stats);
-    out.metric = r.valid ? apps::MaxAbsDistanceError(r.distances, exact) : 1e9;
-    out.success = r.valid && out.metric < 0.05;
-    return out;
-  };
-
-  const auto apsp_series = ctx.RunSweep(
-      "apsp", sweep, {{"Base: Floyd-Warshall", apsp_base}, {"SGD LP", apsp_robust}});
-  bench::EmitSweep("APSP: median max-abs distance error", apsp_series,
-                   harness::TableValue::kMedianMetric, "median max |D-D*|",
-                   "apsp.csv");
+  for (const char* name : {"maxflow", "apsp"}) {
+    const campaign::CampaignSpec& spec = campaign::RegistrySpec(name);
+    const campaign::Scenario scenario = campaign::BuildScenario(spec);
+    const auto series =
+        ctx.RunSweep(name, campaign::ToSweepConfig(spec), scenario.series);
+    bench::EmitSweep(scenario.title, series, scenario.value, scenario.value_label,
+                     scenario.csv_name);
+  }
   return ctx.Finish();
 }

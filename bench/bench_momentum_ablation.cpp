@@ -3,54 +3,15 @@
 // The paper reports that a momentum of 0.5 improved sorting success by
 // 20-40% relative to basic gradient descent, but gave only a marginal
 // (<5%) benefit for bipartite matching.
-#include <random>
-
-#include "apps/configs.h"
-#include "apps/matching_app.h"
-#include "apps/sort_app.h"
+//
+// Axis, seed, and series definitions live in the campaign registry
+// (src/campaign/spec.cpp + scenarios.cpp); this main is presentation only.
 #include "bench/bench_common.h"
-#include "core/phases.h"
-#include "graph/generators.h"
-
-namespace {
-
-using namespace robustify;
-
-std::vector<double> MakeInput(std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  std::uniform_real_distribution<double> dist(0.0, 1.0);
-  std::vector<double> v(5);
-  for (double& x : v) x = dist(rng);
-  return v;
-}
-
-harness::TrialFn SortVariant(apps::LpSolveConfig config) {
-  return [config](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const std::vector<double> input = MakeInput(env.seed * 7919);
-    const apps::RobustSortResult r = core::WithFaultyFpu(
-        env, [&] { return apps::RobustSort<faulty::Real>(input, config); },
-        &out.fpu_stats);
-    out.success = r.valid && apps::IsSortedCopyOf(r.output, input);
-    return out;
-  };
-}
-
-harness::TrialFn MatchVariant(const graph::BipartiteGraph& g,
-                              apps::LpSolveConfig config) {
-  return [&g, config](const core::FaultEnvironment& env) {
-    harness::TrialOutcome out;
-    const apps::MatchingResult r = core::WithFaultyFpu(
-        env, [&] { return apps::RobustMatching<faulty::Real>(g, config); },
-        &out.fpu_stats);
-    out.success = r.valid && apps::MatchesOptimal(g, r.matching);
-    return out;
-  };
-}
-
-}  // namespace
+#include "campaign/scenarios.h"
+#include "campaign/spec.h"
 
 int main(int argc, char** argv) {
+  using namespace robustify;
   bench::BenchContext ctx("momentum_ablation", argc, argv);
   bench::Banner(
       "Momentum ablation (Section 6.2.2)",
@@ -59,38 +20,16 @@ int main(int argc, char** argv) {
       "sorting gains substantially from momentum at moderate/high fault "
       "rates; matching barely moves");
 
-  harness::SweepConfig sweep;
-  sweep.fault_rates = {0.1, 0.3, 0.5};
-  sweep.trials = 10;
-  sweep.base_seed = 70;
-
-  apps::LpSolveConfig sort_plain = apps::SortSgdAsSqs();
-  apps::LpSolveConfig sort_momentum = sort_plain;
-  sort_momentum.sgd.momentum_beta = 0.5;
-
-  const auto sort_series = ctx.RunSweep(
-      "sort-momentum", sweep,
-      {
-                 {"sort (no momentum)", SortVariant(sort_plain)},
-                 {"sort (momentum 0.5)", SortVariant(sort_momentum)},
-             });
-  bench::EmitSweep("Sorting: momentum ablation", sort_series,
-                   harness::TableValue::kSuccessRatePct, "success rate (%)",
-                   "momentum_sort.csv");
-
-  const graph::BipartiteGraph g = graph::RandomBipartite(5, 6, 30, 3);
-  apps::LpSolveConfig match_plain = apps::MatchingSgdAsSqs();
-  apps::LpSolveConfig match_momentum = match_plain;
-  match_momentum.sgd.momentum_beta = 0.5;
-
-  const auto match_series = ctx.RunSweep(
-      "matching-momentum", sweep,
-      {
-                 {"matching (no momentum)", MatchVariant(g, match_plain)},
-                 {"matching (momentum 0.5)", MatchVariant(g, match_momentum)},
-             });
-  bench::EmitSweep("Matching: momentum ablation", match_series,
-                   harness::TableValue::kSuccessRatePct, "success rate (%)",
-                   "momentum_matching.csv");
+  for (const auto& [label, name] :
+       {std::pair<const char*, const char*>{"sort-momentum", "momentum_sort"},
+        std::pair<const char*, const char*>{"matching-momentum",
+                                            "momentum_matching"}}) {
+    const campaign::CampaignSpec& spec = campaign::RegistrySpec(name);
+    const campaign::Scenario scenario = campaign::BuildScenario(spec);
+    const auto series =
+        ctx.RunSweep(label, campaign::ToSweepConfig(spec), scenario.series);
+    bench::EmitSweep(scenario.title, series, scenario.value, scenario.value_label,
+                     scenario.csv_name);
+  }
   return ctx.Finish();
 }

@@ -2,18 +2,15 @@
 // data-fitting workload.  The paper names SVM fitting as a variational
 // problem with existing stochastic gradient solvers (Pegasos); this bench
 // sweeps the fault rate and reports training accuracy of the separator.
-#include "apps/svm_app.h"
+//
+// Axis, seed, and series definitions live in the campaign registry
+// (src/campaign/spec.cpp + scenarios.cpp); this main is presentation only.
 #include "bench/bench_common.h"
-#include "core/phases.h"
-#include "core/variants.h"
-
-namespace {
-
-using namespace robustify;
-
-}  // namespace
+#include "campaign/scenarios.h"
+#include "campaign/spec.h"
 
 int main(int argc, char** argv) {
+  using namespace robustify;
   bench::BenchContext ctx("svm", argc, argv);
   bench::Banner(
       "Robust SVM training (Section 4.7)",
@@ -22,38 +19,11 @@ int main(int argc, char** argv) {
       "at fault rates that destroy exact-output kernels, and degrades "
       "smoothly only at extreme rates");
 
-  const apps::SvmDataset easy = apps::MakeBlobsDataset(40, 6, 4.0, 11);
-  const apps::SvmDataset hard = apps::MakeBlobsDataset(40, 6, 1.5, 12);
-
-  harness::SweepConfig sweep;
-  sweep.fault_rates = {0.0, 0.01, 0.05, 0.1, 0.3, 0.5};
-  sweep.trials = 6;
-  sweep.base_seed = 74;
-
-  const auto variant = [](const apps::SvmDataset& data) {
-    return [&data](const core::FaultEnvironment& env) {
-      harness::TrialOutcome out;
-      const apps::SvmResult r = core::WithFaultyFpu(
-          env,
-          [&] {
-            return apps::TrainSvm<faulty::Real>(
-                data, 0.01, core::MakeSgd(300, 1.0, opt::StepScaling::kSqrt));
-          },
-          &out.fpu_stats);
-      out.metric = 1.0 - r.train_accuracy;  // error rate, lower is better
-      out.success = r.train_accuracy >= 0.95;
-      return out;
-    };
-  };
-
-  const auto series = ctx.RunSweep(
-      "svm", sweep,
-      {
-                 {"margin=4.0", variant(easy)},
-                 {"margin=1.5", variant(hard)},
-             });
-  bench::EmitSweep("SVM training error rate vs fault rate", series,
-                   harness::TableValue::kMedianMetric, "median training error rate",
-                   "svm.csv");
+  const campaign::CampaignSpec& spec = campaign::RegistrySpec("svm");
+  const campaign::Scenario scenario = campaign::BuildScenario(spec);
+  const auto series =
+      ctx.RunSweep("svm", campaign::ToSweepConfig(spec), scenario.series);
+  bench::EmitSweep(scenario.title, series, scenario.value, scenario.value_label,
+                   scenario.csv_name);
   return ctx.Finish();
 }

@@ -1,0 +1,273 @@
+// robustify_cli: one driver for every registered campaign.
+//
+//   robustify_cli list
+//       Registered campaigns, their axes, and their series.
+//   robustify_cli run <fig|spec-file> [flags]
+//       Run a campaign (adaptive trial allocation by default).
+//   robustify_cli resume <fig|spec-file> [flags]
+//       Continue a journaled campaign after a crash or kill; the final CSV
+//       is byte-identical to an uninterrupted run.
+//
+// Flags (run/resume):
+//   --ci=H         target Wilson 95% half-width on the success fraction
+//   --budget=N     per-cell trial cap
+//   --min-trials=N floor before the stopping rule may fire
+//   --batch=N      trials executed (and journaled) per round
+//   --fixed        fixed budget (spec trials per cell; no early stopping)
+//   --trials=N     override the fixed budget (implies nothing about --fixed)
+//   --rates=a,b,c  override the fault-rate axis
+//   --series=NAME  restrict to one series (repeatable)
+//   --seed=N       override the base seed
+//   --threads=N    worker threads (default ROBUSTIFY_THREADS, else hardware)
+//   --journal=PATH checkpoint journal (default <name>.journal; run truncates,
+//                  resume requires it)
+//   --csv=PATH     output CSV (default campaign_<name>.csv)
+//   --json=PATH    perf report (default BENCH_campaign_<name>.json)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "campaign/adaptive.h"
+#include "campaign/runner.h"
+#include "campaign/scenarios.h"
+#include "campaign/spec.h"
+#include "harness/csv.h"
+#include "harness/parallel.h"
+#include "harness/perf_report.h"
+#include "harness/table.h"
+#include "harness/timer.h"
+
+namespace {
+
+using namespace robustify;
+
+int Usage() {
+  std::cerr
+      << "usage: robustify_cli list\n"
+      << "       robustify_cli {run,resume} <fig|spec-file> [--ci=H] [--budget=N]\n"
+      << "           [--min-trials=N] [--batch=N] [--fixed] [--trials=N]\n"
+      << "           [--rates=a,b,c] [--series=NAME]... [--seed=N] [--threads=N]\n"
+      << "           [--journal=PATH] [--csv=PATH] [--json=PATH]\n";
+  return 2;
+}
+
+[[noreturn]] void Die(const std::string& message) {
+  std::cerr << "robustify_cli: " << message << "\n";
+  std::exit(2);
+}
+
+long ParseLongFlag(const std::string& flag, const std::string& value) {
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    Die("malformed " + flag + " value: " + value);
+  }
+  return parsed;
+}
+
+double ParseDoubleFlag(const std::string& flag, const std::string& value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    Die("malformed " + flag + " value: " + value);
+  }
+  return parsed;
+}
+
+// One parser for the rate-axis format, shared with spec files
+// (campaign::ParseRateAxis) so the two surfaces cannot drift.
+std::vector<double> ParseRatesFlag(const std::string& value) {
+  try {
+    return campaign::ParseRateAxis(value);
+  } catch (const std::exception& e) {
+    Die(std::string("malformed --rates list: ") + e.what());
+  }
+}
+
+int RunList() {
+  std::cout << "registered campaigns (robustify_cli run <name>):\n\n";
+  for (const std::string& name : campaign::RegistryNames()) {
+    const campaign::CampaignSpec& spec = campaign::RegistrySpec(name);
+    std::cout << "  " << name << "\n    rates:";
+    for (const double r : spec.fault_rates) std::cout << " " << r;
+    std::cout << "\n    trials: " << spec.fixed_trials
+              << " fixed / budget " << spec.max_trials << ", ci "
+              << spec.ci_half_width << ", seed " << spec.base_seed
+              << "\n    series:";
+    for (const std::string& s : campaign::ScenarioSeriesNames(spec.app)) {
+      std::cout << " [" << s << "]";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nspec files (key = value, see README) run the same way:\n"
+            << "  robustify_cli run my_campaign.spec\n";
+  return 0;
+}
+
+struct CliOptions {
+  campaign::CampaignSpec spec;
+  campaign::RunnerOptions runner;
+  std::string csv_path;
+  std::string json_path;
+};
+
+int RunCampaignCommand(bool resume, const std::string& target,
+                       const std::vector<std::string>& flags) {
+  CliOptions cli;
+  // A spec file wins when the path exists; otherwise the registry.
+  if (std::ifstream probe(target); probe.good()) {
+    cli.spec = campaign::ParseSpecFile(target);
+  } else {
+    cli.spec = campaign::RegistrySpec(target);
+  }
+
+  cli.runner.resume = resume;
+  bool journal_set = false;
+  for (const std::string& arg : flags) {
+    if (arg.rfind("--ci=", 0) == 0) {
+      cli.spec.ci_half_width = ParseDoubleFlag("--ci", arg.substr(5));
+      if (!(cli.spec.ci_half_width > 0.0)) Die("--ci must be > 0");
+    } else if (arg.rfind("--budget=", 0) == 0) {
+      cli.spec.max_trials = static_cast<int>(ParseLongFlag("--budget", arg.substr(9)));
+    } else if (arg.rfind("--min-trials=", 0) == 0) {
+      cli.spec.min_trials =
+          static_cast<int>(ParseLongFlag("--min-trials", arg.substr(13)));
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      cli.spec.batch = static_cast<int>(ParseLongFlag("--batch", arg.substr(8)));
+    } else if (arg == "--fixed") {
+      cli.runner.adaptive = false;
+    } else if (arg.rfind("--trials=", 0) == 0) {
+      cli.spec.fixed_trials = static_cast<int>(ParseLongFlag("--trials", arg.substr(9)));
+    } else if (arg.rfind("--rates=", 0) == 0) {
+      cli.spec.fault_rates = ParseRatesFlag(arg.substr(8));
+    } else if (arg.rfind("--series=", 0) == 0) {
+      cli.spec.series.push_back(arg.substr(9));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      cli.spec.base_seed =
+          static_cast<std::uint64_t>(ParseLongFlag("--seed", arg.substr(7)));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      cli.runner.threads = static_cast<int>(ParseLongFlag("--threads", arg.substr(10)));
+    } else if (arg.rfind("--journal=", 0) == 0) {
+      cli.runner.journal_path = arg.substr(10);
+      journal_set = true;
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      cli.csv_path = arg.substr(6);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      cli.json_path = arg.substr(7);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return Usage();
+    }
+  }
+  if (cli.spec.min_trials > cli.spec.max_trials ||
+      cli.spec.min_trials < 1 || cli.spec.batch < 1 || cli.spec.fixed_trials < 1) {
+    Die("invalid trial allocation: need 1 <= min-trials <= budget, batch >= 1");
+  }
+  if (!journal_set) cli.runner.journal_path = cli.spec.name + ".journal";
+  if (cli.csv_path.empty()) cli.csv_path = "campaign_" + cli.spec.name + ".csv";
+  if (cli.json_path.empty()) {
+    cli.json_path = "BENCH_campaign_" + cli.spec.name + ".json";
+  }
+
+  const campaign::Scenario scenario = campaign::BuildScenario(cli.spec);
+
+  std::cout << "campaign " << cli.spec.name << " (" << scenario.series.size()
+            << " series x " << cli.spec.fault_rates.size() << " rates, "
+            << (cli.runner.adaptive
+                    ? "adaptive: ci " + std::to_string(cli.spec.ci_half_width) +
+                          ", budget " + std::to_string(cli.spec.max_trials)
+                    : "fixed: " + std::to_string(cli.spec.fixed_trials) +
+                          " trials/cell")
+            << (resume ? ", resuming " + cli.runner.journal_path : "") << ")\n";
+
+  harness::WallTimer timer;
+  const campaign::CampaignResult result =
+      campaign::RunCampaign(cli.spec, scenario, cli.runner);
+  const double wall = timer.Seconds();
+
+  harness::PrintSweepTable(std::cout, scenario.title, result.series, scenario.value,
+                           scenario.value_label);
+  harness::PrintSweepTable(std::cout, scenario.title + " (success rate)",
+                           result.series, harness::TableValue::kSuccessRatePct,
+                           "success rate (%)");
+
+  // Per-cell allocation map: where the adaptive controller actually spent
+  // the budget.
+  std::cout << "trials per cell (* = budget hit before the CI target):\n";
+  for (std::size_t s = 0; s < result.cells.size(); ++s) {
+    std::printf("  %-24s", result.series[s].name.c_str());
+    for (const campaign::CellStats& cell : result.cells[s]) {
+      std::printf(" %5d%c", cell.trials, cell.settled ? ' ' : '*');
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "total trials: %ld / %ld budget (%.1f%%), %d/%d cells settled%s\n",
+      result.total_trials, result.budget_trials,
+      100.0 * static_cast<double>(result.total_trials) /
+          static_cast<double>(result.budget_trials > 0 ? result.budget_trials : 1),
+      result.settled_cells, result.cell_count,
+      result.resumed_trials > 0
+          ? (" (" + std::to_string(result.resumed_trials) + " replayed from journal)")
+                .c_str()
+          : "");
+  std::printf("wall: %.3f s, %.1f Mops/s through the injector\n", wall,
+              wall > 0.0 ? result.faulty_flops / wall / 1e6 : 0.0);
+
+  try {
+    harness::WriteSweepCsv(cli.csv_path, result.series);
+    std::cout << "[csv written: " << cli.csv_path << "]\n";
+  } catch (const std::exception& e) {
+    std::cout << "[csv skipped: " << e.what() << "]\n";
+  }
+
+  harness::PerfReport report;
+  report.bench = "campaign_" + cli.spec.name;
+  report.threads = harness::ResolveThreadCount(cli.runner.threads);
+  report.injector_strategy = "auto";
+  report.engine = "auto";
+  report.rng = faulty::RngModeName(faulty::EnvRngMode());
+  report.wall_seconds = wall;
+  harness::PerfSection section;
+  section.name = cli.runner.adaptive ? "adaptive" : "fixed";
+  section.wall_seconds = wall;
+  section.faulty_flops = result.faulty_flops;
+  if (wall > 0.0) section.injector_mops_per_sec = result.faulty_flops / wall / 1e6;
+  section.trials_run = static_cast<double>(result.total_trials);
+  section.trials_budget = static_cast<double>(result.budget_trials);
+  report.sections.push_back(section);
+  try {
+    harness::WritePerfJson(cli.json_path, report);
+    std::cout << "[perf json written: " << cli.json_path << "]\n";
+  } catch (const std::exception& e) {
+    std::cout << "[perf json skipped: " << e.what() << "]\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "list") {
+      if (argc != 2) return Usage();
+      return RunList();
+    }
+    if (command == "run" || command == "resume") {
+      if (argc < 3) return Usage();
+      std::vector<std::string> flags;
+      for (int i = 3; i < argc; ++i) flags.emplace_back(argv[i]);
+      return RunCampaignCommand(command == "resume", argv[2], flags);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "robustify_cli: " << e.what() << "\n";
+    return 1;
+  }
+  return Usage();
+}

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -108,11 +110,21 @@ MatchingResult RobustMatching(const graph::BipartiteGraph& g, const LpSolveConfi
   result.valid = AllFinite(x);
 
   // Greedy rounding by reliable readout: edges in decreasing x order, skip
-  // edges whose endpoint is taken.
+  // edges whose endpoint is taken.  NaN iterates (possible at high fault
+  // rates) are scrubbed to -inf before sorting: comparing through NaN is
+  // not a strict weak ordering, and std::sort on one is undefined behavior
+  // — in practice libstdc++'s unguarded insertion sort walks out of the
+  // array and the result (even the op count upstream via code layout)
+  // becomes a function of adjacent memory.
   std::vector<std::size_t> order(g.edges.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return linalg::AsDouble(x[a]) > linalg::AsDouble(x[b]);
+    const double xa = linalg::AsDouble(x[a]);
+    const double xb = linalg::AsDouble(x[b]);
+    const double ka = std::isnan(xa) ? -std::numeric_limits<double>::infinity() : xa;
+    const double kb = std::isnan(xb) ? -std::numeric_limits<double>::infinity() : xb;
+    if (ka != kb) return ka > kb;
+    return a < b;  // total order: ties (and scrubbed NaNs) break by index
   });
   result.matching.right_of_left.assign(static_cast<std::size_t>(g.left), -1);
   std::vector<bool> right_used(static_cast<std::size_t>(g.right), false);

@@ -1,0 +1,197 @@
+#include "campaign/runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "campaign/adaptive.h"
+#include "core/fault_env.h"
+#include "harness/parallel.h"
+#include "harness/trial.h"
+
+namespace robustify::campaign {
+
+namespace {
+
+harness::TrialOutcome ToOutcome(const TrialRecord& r) {
+  harness::TrialOutcome out;
+  out.success = r.success;
+  out.metric = r.metric;
+  out.fpu_stats.faulty_flops = r.faulty_flops;
+  out.fpu_stats.faults_injected = r.faults_injected;
+  return out;
+}
+
+TrialRecord ToRecord(const harness::TrialOutcome& out, int series, int rate,
+                     int trial) {
+  TrialRecord r;
+  r.series = series;
+  r.rate = rate;
+  r.trial = trial;
+  r.success = out.success;
+  r.metric = out.metric;
+  r.faulty_flops = out.fpu_stats.faulty_flops;
+  r.faults_injected = out.fpu_stats.faults_injected;
+  return r;
+}
+
+}  // namespace
+
+CampaignResult RunCampaign(const CampaignSpec& spec, const Scenario& scenario,
+                           const RunnerOptions& options) {
+  const int series_count = static_cast<int>(scenario.series.size());
+  const int rate_count = static_cast<int>(spec.fault_rates.size());
+  const int cell_count = series_count * rate_count;
+  const int batch = std::max(1, spec.batch);
+
+  AdaptiveConfig adaptive;
+  if (options.adaptive) {
+    adaptive.min_trials = spec.min_trials;
+    adaptive.max_trials = spec.max_trials;
+    adaptive.ci_half_width = spec.ci_half_width;
+  } else {
+    // Fixed budget: the stopping rule can never fire early, so every cell
+    // runs exactly spec.fixed_trials — the historical sweep behavior.
+    adaptive.min_trials = spec.fixed_trials;
+    adaptive.max_trials = spec.fixed_trials;
+    adaptive.ci_half_width = 0.0;
+  }
+
+  // Per-cell accepted outcomes, in trial order.  Workers write disjoint
+  // cells; the reduction below reads them serially in cell order.
+  std::vector<std::vector<harness::TrialOutcome>> accepted(
+      static_cast<std::size_t>(cell_count));
+  std::vector<CellStats> stats(static_cast<std::size_t>(cell_count));
+
+  // ---- checkpoint plumbing --------------------------------------------------
+  std::unique_ptr<CampaignJournal> journal;
+  long resumed_trials = 0;
+  if (!options.journal_path.empty()) {
+    journal = std::make_unique<CampaignJournal>(options.journal_path);
+    const std::uint64_t fingerprint = SpecFingerprint(spec);
+    if (options.resume) {
+      CampaignJournal::Loaded loaded = CampaignJournal::Load(options.journal_path);
+      if (!loaded.exists) {
+        throw std::runtime_error("cannot resume: no readable journal at " +
+                                 options.journal_path);
+      }
+      if (loaded.fingerprint != fingerprint) {
+        throw std::runtime_error(
+            "cannot resume: journal " + options.journal_path +
+            " was written by a different campaign spec (fingerprint mismatch)");
+      }
+      // Bucket records by cell; trials within a cell were journaled in
+      // order by a single worker, but sort defensively and drop anything
+      // out of contract (duplicate or out-of-range indices).
+      for (const TrialRecord& r : loaded.records) {
+        if (r.series < 0 || r.series >= series_count || r.rate < 0 ||
+            r.rate >= rate_count) {
+          continue;
+        }
+        const std::size_t cell =
+            static_cast<std::size_t>(r.series * rate_count + r.rate);
+        if (r.trial == static_cast<int>(accepted[cell].size())) {
+          accepted[cell].push_back(ToOutcome(r));
+          ++resumed_trials;
+        }
+      }
+      // Heal any torn tail before new appends land after it.
+      std::vector<TrialRecord> kept;
+      kept.reserve(static_cast<std::size_t>(resumed_trials));
+      for (int cell = 0; cell < cell_count; ++cell) {
+        const int s = cell / rate_count;
+        const int r = cell % rate_count;
+        for (std::size_t t = 0; t < accepted[static_cast<std::size_t>(cell)].size();
+             ++t) {
+          kept.push_back(ToRecord(accepted[static_cast<std::size_t>(cell)][t], s, r,
+                                  static_cast<int>(t)));
+        }
+      }
+      journal->RewriteAndOpen(fingerprint, kept);
+    } else {
+      journal->Start(fingerprint);
+    }
+  } else if (options.resume) {
+    throw std::runtime_error("cannot resume without a journal path");
+  }
+
+  // ---- the cell grid, dynamically claimed -----------------------------------
+  harness::ParallelFor(cell_count, options.threads, [&](int cell) {
+    const int s = cell / rate_count;
+    const int r = cell % rate_count;
+    std::vector<harness::TrialOutcome>& outcomes =
+        accepted[static_cast<std::size_t>(cell)];
+
+    CellController controller(adaptive);
+    // Replay journaled outcomes through the stopping rule.  A journal never
+    // holds trials past the stopping point, but the rule is cheap — replay
+    // guards against hand-edited journals and re-derives settled state.
+    std::size_t replayed = 0;
+    while (replayed < outcomes.size() && !controller.done()) {
+      controller.Record(outcomes[replayed].success);
+      ++replayed;
+    }
+    outcomes.resize(replayed);
+
+    core::FaultEnvironment env;
+    env.fault_rate = spec.fault_rates[static_cast<std::size_t>(r)];
+    env.seed = spec.base_seed;
+    env.bit_model = spec.bit_model;
+    const harness::TrialFn& fn = scenario.series[static_cast<std::size_t>(s)].fn;
+
+    std::vector<harness::TrialOutcome> round(static_cast<std::size_t>(batch));
+    std::vector<TrialRecord> journal_batch;
+    while (!controller.done()) {
+      const int base = controller.next_trial();
+      const int want = std::min(batch, adaptive.max_trials - base);
+      for (int i = 0; i < want; ++i) {
+        round[static_cast<std::size_t>(i)] = harness::RunSingleTrial(fn, env, base + i);
+      }
+      // Accept speculative outcomes in trial order up to the stopping
+      // point; anything past it is discarded so the accepted set never
+      // depends on the batch size.
+      journal_batch.clear();
+      for (int i = 0; i < want && !controller.done(); ++i) {
+        const harness::TrialOutcome& out = round[static_cast<std::size_t>(i)];
+        controller.Record(out.success);
+        outcomes.push_back(out);
+        journal_batch.push_back(ToRecord(out, s, r, base + i));
+      }
+      if (journal) journal->Append(journal_batch.data(), journal_batch.size());
+    }
+
+    CellStats& cs = stats[static_cast<std::size_t>(cell)];
+    cs.trials = controller.trials();
+    cs.settled = controller.settled();
+  });
+
+  // ---- serial in-order reduction --------------------------------------------
+  CampaignResult result;
+  result.cell_count = cell_count;
+  result.budget_trials = static_cast<long>(adaptive.max_trials) * cell_count;
+  result.resumed_trials = resumed_trials;
+  result.series.reserve(static_cast<std::size_t>(series_count));
+  result.cells.resize(static_cast<std::size_t>(series_count));
+  for (int s = 0; s < series_count; ++s) {
+    harness::Series series;
+    series.name = scenario.series[static_cast<std::size_t>(s)].name;
+    for (int r = 0; r < rate_count; ++r) {
+      const std::size_t cell = static_cast<std::size_t>(s * rate_count + r);
+      const std::vector<harness::TrialOutcome>& outcomes = accepted[cell];
+      harness::SeriesPoint point;
+      point.fault_rate = spec.fault_rates[static_cast<std::size_t>(r)];
+      point.summary = harness::SummarizeOutcomes(outcomes);
+      series.points.push_back(point);
+      result.cells[static_cast<std::size_t>(s)].push_back(stats[cell]);
+      result.total_trials += stats[cell].trials;
+      if (stats[cell].settled) ++result.settled_cells;
+      for (const harness::TrialOutcome& out : outcomes) {
+        result.faulty_flops += static_cast<double>(out.fpu_stats.faulty_flops);
+      }
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+}  // namespace robustify::campaign

@@ -1,0 +1,56 @@
+// Campaign execution: adaptive cells fanned across the harness thread pool.
+//
+// The parallel unit is the *cell* — one (series, fault rate) point — not
+// the trial: cells have wildly unequal cost under adaptive allocation (a
+// saturated cell stops after a handful of trials, a transition cell runs to
+// its budget), which is exactly the skewed-load shape ParallelFor's dynamic
+// index claiming exists for.  Each cell runs its sequential controller
+// (campaign/adaptive.h) on one worker, journals accepted batches
+// (campaign/checkpoint.h), and the final reduction runs serially in cell
+// order — so campaign output is byte-identical for every thread count,
+// batch size, and kill/resume schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/checkpoint.h"
+#include "campaign/scenarios.h"
+#include "campaign/spec.h"
+#include "harness/sweep.h"
+
+namespace robustify::campaign {
+
+struct RunnerOptions {
+  int threads = 0;           // 0 = auto (ROBUSTIFY_THREADS, else hardware)
+  std::string journal_path;  // empty = run without checkpointing
+  bool resume = false;       // load the journal and continue it
+  bool adaptive = true;      // false = fixed budget (spec.fixed_trials per cell)
+};
+
+struct CellStats {
+  int trials = 0;
+  bool settled = false;  // stopping rule met the CI target within budget
+};
+
+struct CampaignResult {
+  // One Series per scenario series, one point per fault rate — the same
+  // shape the fixed sweep produces, so tables/CSV plumbing is shared.
+  std::vector<harness::Series> series;
+  std::vector<std::vector<CellStats>> cells;  // [series][rate]
+  long total_trials = 0;     // accepted trials, all cells
+  long resumed_trials = 0;   // of those, replayed from the journal
+  long budget_trials = 0;    // per-cell cap * cell count
+  int settled_cells = 0;
+  int cell_count = 0;
+  double faulty_flops = 0.0;  // ops through the injector, accepted trials
+};
+
+// Runs (or resumes) the campaign described by `spec` over `scenario`.
+// Throws std::runtime_error on journal problems, including resuming against
+// a journal whose fingerprint does not match the spec.
+CampaignResult RunCampaign(const CampaignSpec& spec, const Scenario& scenario,
+                           const RunnerOptions& options);
+
+}  // namespace robustify::campaign

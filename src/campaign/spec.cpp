@@ -1,0 +1,269 @@
+#include "campaign/spec.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace robustify::campaign {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void Fail(int line, const std::string& what) {
+  throw std::runtime_error("spec line " + std::to_string(line) + ": " + what);
+}
+
+long ParseLong(int line, const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    Fail(line, "malformed integer for '" + key + "': " + value);
+  }
+  return parsed;
+}
+
+double ParseDouble(int line, const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    Fail(line, "malformed number for '" + key + "': " + value);
+  }
+  return parsed;
+}
+
+std::vector<double> ParseRateList(int line, const std::string& value) {
+  std::vector<double> rates;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const std::size_t comma = value.find(',', pos);
+    const std::string item =
+        Trim(comma == std::string::npos ? value.substr(pos)
+                                        : value.substr(pos, comma - pos));
+    if (item.empty()) Fail(line, "empty entry in rates list");
+    rates.push_back(ParseDouble(line, "rates", item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (rates.empty()) Fail(line, "rates list is empty");
+  return rates;
+}
+
+const char* BitModelName(faulty::BitModel model) {
+  switch (model) {
+    case faulty::BitModel::kBimodal: return "bimodal";
+    case faulty::BitModel::kUniform: return "uniform";
+    case faulty::BitModel::kMsbOnly: return "msb";
+    case faulty::BitModel::kLsbOnly: return "lsb";
+  }
+  return "bimodal";
+}
+
+faulty::BitModel ParseBitModel(int line, const std::string& value) {
+  if (value == "bimodal") return faulty::BitModel::kBimodal;
+  if (value == "uniform") return faulty::BitModel::kUniform;
+  if (value == "msb") return faulty::BitModel::kMsbOnly;
+  if (value == "lsb") return faulty::BitModel::kLsbOnly;
+  Fail(line, "unknown bit_model '" + value + "' (bimodal|uniform|msb|lsb)");
+}
+
+// Shortest-round-trip formatting for the rate axis: %.17g always round-trips
+// binary64, and the parse side accepts anything strtod does.
+std::string FormatRate(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", rate);
+  return buf;
+}
+
+}  // namespace
+
+CampaignSpec ParseSpec(std::istream& is) {
+  CampaignSpec spec;
+  spec.fault_rates.clear();
+  bool saw_rates = false;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) Fail(line_no, "expected 'key = value': " + line);
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (value.empty()) Fail(line_no, "empty value for '" + key + "'");
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "app") {
+      spec.app = value;
+    } else if (key == "series") {
+      spec.series.push_back(value);
+    } else if (key == "rates") {
+      spec.fault_rates = ParseRateList(line_no, value);
+      saw_rates = true;
+    } else if (key == "trials") {
+      spec.fixed_trials = static_cast<int>(ParseLong(line_no, key, value));
+    } else if (key == "budget") {
+      spec.max_trials = static_cast<int>(ParseLong(line_no, key, value));
+    } else if (key == "min_trials") {
+      spec.min_trials = static_cast<int>(ParseLong(line_no, key, value));
+    } else if (key == "batch") {
+      spec.batch = static_cast<int>(ParseLong(line_no, key, value));
+    } else if (key == "ci") {
+      spec.ci_half_width = ParseDouble(line_no, key, value);
+    } else if (key == "seed") {
+      spec.base_seed = static_cast<std::uint64_t>(ParseLong(line_no, key, value));
+    } else if (key == "bit_model") {
+      spec.bit_model = ParseBitModel(line_no, value);
+    } else {
+      Fail(line_no, "unknown key '" + key + "'");
+    }
+  }
+  if (spec.app.empty()) throw std::runtime_error("spec: missing required key 'app'");
+  if (!saw_rates) throw std::runtime_error("spec: missing required key 'rates'");
+  if (spec.name.empty()) spec.name = spec.app;
+  if (spec.fixed_trials < 1 || spec.max_trials < 1 || spec.min_trials < 1 ||
+      spec.batch < 1) {
+    throw std::runtime_error("spec: trials/budget/min_trials/batch must be >= 1");
+  }
+  if (spec.min_trials > spec.max_trials) {
+    throw std::runtime_error("spec: min_trials exceeds budget");
+  }
+  if (!(spec.ci_half_width > 0.0)) {
+    throw std::runtime_error("spec: ci must be > 0");
+  }
+  return spec;
+}
+
+CampaignSpec ParseSpecFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open spec file " + path);
+  return ParseSpec(is);
+}
+
+std::vector<double> ParseRateAxis(const std::string& text) {
+  return ParseRateList(0, text);
+}
+
+std::string FormatSpec(const CampaignSpec& spec) {
+  std::ostringstream os;
+  os << "name = " << spec.name << "\n";
+  os << "app = " << spec.app << "\n";
+  for (const std::string& s : spec.series) os << "series = " << s << "\n";
+  os << "rates = ";
+  for (std::size_t i = 0; i < spec.fault_rates.size(); ++i) {
+    if (i) os << ",";
+    os << FormatRate(spec.fault_rates[i]);
+  }
+  os << "\n";
+  os << "trials = " << spec.fixed_trials << "\n";
+  os << "budget = " << spec.max_trials << "\n";
+  os << "min_trials = " << spec.min_trials << "\n";
+  os << "batch = " << spec.batch << "\n";
+  os << "ci = " << FormatRate(spec.ci_half_width) << "\n";
+  os << "seed = " << spec.base_seed << "\n";
+  os << "bit_model = " << BitModelName(spec.bit_model) << "\n";
+  return os.str();
+}
+
+std::uint64_t SpecFingerprint(const CampaignSpec& spec) {
+  // Canonical form minus the knobs that provably cannot change journaled
+  // tallies: batch size only schedules speculation (accepted outcomes are
+  // invariant to it — campaign/adaptive.h), so hashing it would make
+  // resume reject journals it could continue byte-identically.
+  CampaignSpec canonical = spec;
+  canonical.batch = 1;
+  const std::string text = FormatSpec(canonical);
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+// ---- registry ---------------------------------------------------------------
+
+namespace {
+
+CampaignSpec MakeSpec(const char* name, const char* app,
+                      std::vector<double> rates, int fixed_trials,
+                      std::uint64_t seed) {
+  CampaignSpec spec;
+  spec.name = name;
+  spec.app = app;
+  spec.fault_rates = std::move(rates);
+  spec.fixed_trials = fixed_trials;
+  spec.base_seed = seed;
+  return spec;
+}
+
+// The one table the benches and the CLI share.  Axis, default fixed trial
+// count, and seed are exactly the historical values of each bench main, so
+// registry-driven sweeps reproduce the committed figures bit-for-bit.
+const std::vector<CampaignSpec>& Registry() {
+  static const std::vector<CampaignSpec> specs = {
+      MakeSpec("fig6_1", "fig6_1", {0.0, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5}, 10, 61),
+      MakeSpec("fig6_2", "fig6_2", {0.0, 0.0001, 0.001, 0.01, 0.05, 0.1}, 10, 62),
+      MakeSpec("fig6_3", "fig6_3", {0.0, 0.001, 0.005, 0.01, 0.02}, 8, 63),
+      MakeSpec("fig6_4", "fig6_4", {0.0, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5}, 10, 64),
+      MakeSpec("fig6_5", "fig6_5", {0.0, 0.02, 0.1, 0.3, 0.5}, 8, 65),
+      MakeSpec("fig6_6", "fig6_6", {0.0, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}, 10, 66),
+      MakeSpec("momentum_sort", "momentum_sort", {0.1, 0.3, 0.5}, 10, 70),
+      MakeSpec("momentum_matching", "momentum_matching", {0.1, 0.3, 0.5}, 10, 70),
+      MakeSpec("maxflow", "maxflow", {0.0, 0.01, 0.05, 0.1, 0.2}, 6, 71),
+      MakeSpec("apsp", "apsp", {0.0, 0.01, 0.05, 0.1, 0.2}, 6, 71),
+      MakeSpec("eigen_rayleigh", "eigen_rayleigh", {0.0, 0.001, 0.01, 0.05, 0.1}, 6,
+               72),
+      MakeSpec("svm", "svm", {0.0, 0.01, 0.05, 0.1, 0.3, 0.5}, 6, 74),
+  };
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<std::string>& RegistryNames() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const CampaignSpec& spec : Registry()) out.push_back(spec.name);
+    return out;
+  }();
+  return names;
+}
+
+const CampaignSpec* FindRegistrySpec(const std::string& name) {
+  for (const CampaignSpec& spec : Registry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+const CampaignSpec& RegistrySpec(const std::string& name) {
+  if (const CampaignSpec* spec = FindRegistrySpec(name)) return *spec;
+  std::string known;
+  for (const std::string& n : RegistryNames()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::runtime_error("unknown campaign '" + name + "' (registered: " + known +
+                           ")");
+}
+
+harness::SweepConfig ToSweepConfig(const CampaignSpec& spec) {
+  harness::SweepConfig sweep;
+  sweep.fault_rates = spec.fault_rates;
+  sweep.trials = spec.fixed_trials;
+  sweep.base_seed = spec.base_seed;
+  sweep.bit_model = spec.bit_model;
+  return sweep;
+}
+
+}  // namespace robustify::campaign

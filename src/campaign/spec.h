@@ -1,0 +1,98 @@
+// Declarative campaign specifications: *what* to run, separated from the
+// harness's *how to run one trial*.
+//
+// A CampaignSpec names an application scenario (see campaign/scenarios.h),
+// the series subset, the fault-rate axis, and the trial-allocation policy —
+// either a fixed per-cell budget (the historical sweep behavior every bench
+// defaults to) or the adaptive sequential policy (campaign/adaptive.h) that
+// stops a (series, rate) cell as soon as the success-rate Wilson interval
+// is tight enough.  Specs parse from a small key=value text format and the
+// registry below maps every figure/bench sweep to its canonical spec, so
+// axis definitions live in one table instead of being scattered over the
+// bench mains.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "faulty/bit_distribution.h"
+#include "harness/sweep.h"
+
+namespace robustify::campaign {
+
+struct CampaignSpec {
+  std::string name;  // campaign tag: journal header, default output names
+  std::string app;   // scenario key (campaign/scenarios.h), e.g. "fig6_1"
+  // Series subset to run, in this order; empty = every series the scenario
+  // defines, in scenario order.
+  std::vector<std::string> series;
+  std::vector<double> fault_rates;
+
+  // Fixed-budget mode (the bench defaults): repetitions per cell.
+  int fixed_trials = 10;
+
+  // Adaptive mode: per-cell budget cap, floor before the stopping rule may
+  // fire, trials executed (and journaled) per round, and the target Wilson
+  // 95% half-width on the success fraction.  The stopping point of a cell
+  // is a pure function of its outcome sequence in trial order — never of
+  // batch size or thread count (campaign/adaptive.h).  batch > 1 runs
+  // speculative trials that are discarded if the rule fires mid-round
+  // (deterministic, but wasted wall time — a cell settling at 9 executes
+  // 16 under batch=8); since trials within a cell are serial on one worker
+  // and the stop check is trivially cheap, batch=1 is the default and
+  // larger batches exist for coarser journal flushing and the
+  // batch-invariance tests.
+  int max_trials = 100;
+  int min_trials = 4;
+  int batch = 1;
+  double ci_half_width = 0.15;
+
+  std::uint64_t base_seed = 1;
+  faulty::BitModel bit_model = faulty::BitModel::kBimodal;
+};
+
+// ---- key=value spec files ---------------------------------------------------
+//
+// One `key = value` pair per line; '#' starts a comment; unknown keys are
+// errors (a typoed key silently falling back to a default would produce a
+// plausible-but-wrong campaign).  `series` may repeat, one series name per
+// line (names contain commas, e.g. "SGD+AS,LS", so no list syntax).  Keys:
+//   name, app, rates (comma-separated), trials (fixed budget),
+//   budget (adaptive cap), min_trials, batch, ci (half-width fraction),
+//   seed, bit_model (bimodal|uniform|msb|lsb), series.
+
+// Throws std::runtime_error with a line-numbered message on malformed input.
+CampaignSpec ParseSpec(std::istream& is);
+CampaignSpec ParseSpecFile(const std::string& path);
+
+// The rate-axis list parser the spec format uses ("0, 1e-4, 0.25"); shared
+// with the CLI's --rates flag so the two surfaces cannot drift.  Throws
+// std::runtime_error on malformed or empty input.
+std::vector<double> ParseRateAxis(const std::string& text);
+
+// Canonical round-trip text form (ParseSpec(FormatSpec(s)) == s).
+std::string FormatSpec(const CampaignSpec& spec);
+
+// FNV-1a of the canonical form: the checkpoint journal stores it so a
+// resume with a mismatched spec is rejected instead of silently merging
+// incompatible tallies.
+std::uint64_t SpecFingerprint(const CampaignSpec& spec);
+
+// ---- registry ---------------------------------------------------------------
+
+// Names of every registered figure/bench sweep, in presentation order.
+const std::vector<std::string>& RegistryNames();
+
+// Null when `name` is not registered.
+const CampaignSpec* FindRegistrySpec(const std::string& name);
+
+// Throws std::runtime_error (listing the valid names) when unknown.
+const CampaignSpec& RegistrySpec(const std::string& name);
+
+// The fixed-budget bridge the bench mains run through: the spec's axis,
+// fixed trial count, seed, and bit model as a harness sweep configuration.
+harness::SweepConfig ToSweepConfig(const CampaignSpec& spec);
+
+}  // namespace robustify::campaign

@@ -30,6 +30,9 @@ struct FaultEnvironment {
   // block engine; pin to kScalar to run the per-scalar equivalence oracle
   // (same fault stream bit-for-bit — tests/test_block_engine.cpp).
   faulty::Engine engine = faulty::Engine::kAuto;
+  // Per-fault RNG draw layout: kAuto defers to ROBUSTIFY_RNG, else split;
+  // pin to kFused/kSplit for the statistical A/B tests.
+  faulty::RngMode rng = faulty::RngMode::kAuto;
 };
 
 namespace detail {
@@ -57,7 +60,7 @@ auto WithFaultyFpu(const FaultEnvironment& env, Fn&& fn,
   // per trial was measurable across a sweep's thousands of trials).
   faulty::FaultInjector injector(env.fault_rate,
                                  faulty::SharedBitDistribution(env.bit_model),
-                                 env.seed, env.strategy);
+                                 env.seed, env.strategy, env.rng);
   if constexpr (std::is_void_v<decltype(fn())>) {
     {
       faulty::EngineScope engine_scope(env.engine);

@@ -26,8 +26,32 @@ FaultInjector::Strategy EnvInjectorStrategy() {
   return cached;
 }
 
+// ROBUSTIFY_RNG=fused|split pins the per-fault draw layout for every kAuto
+// scope (split remains the default).  Read once per process.
+RngMode EnvRngMode() {
+  static const RngMode cached = [] {
+    const char* env = std::getenv("ROBUSTIFY_RNG");
+    if (env != nullptr) {
+      const std::string value(env);
+      if (value == "fused") return RngMode::kFused;
+      if (value == "split") return RngMode::kSplit;
+    }
+    return RngMode::kAuto;
+  }();
+  return cached;
+}
+
+const char* RngModeName(RngMode mode) {
+  switch (mode) {
+    case RngMode::kFused: return "fused";
+    case RngMode::kSplit: return "split";
+    case RngMode::kAuto: break;
+  }
+  return "";
+}
+
 FaultInjector::FaultInjector(double fault_rate, const BitDistribution& bits,
-                             std::uint64_t seed, Strategy strategy)
+                             std::uint64_t seed, Strategy strategy, RngMode rng)
     : bits_(&bits), rng_(seed ^ 0xA5A5A5A55A5A5A5Aull) {
   if (fault_rate <= 0.0) {
     threshold_ = 0;
@@ -46,6 +70,12 @@ FaultInjector::FaultInjector(double fault_rate, const BitDistribution& bits,
   // keeps the per-fault cost flat even at rate 0.5); per-op exists only as
   // the explicitly requested reference oracle.
   per_op_ = strategy == Strategy::kPerOp;
+
+  if (rng == RngMode::kAuto) rng = EnvRngMode();
+  // The fused layout only applies where a fault draws gap + bit together:
+  // the skip-ahead strategy at rates with a gap sampler.  The per-op
+  // oracle keeps its historical split stream.
+  fused_ = rng == RngMode::kFused && !per_op_ && gaps_ != nullptr;
 
   if (per_op_) {
     countdown_ = 0;  // every op takes the fault path's Bernoulli decision
@@ -66,14 +96,17 @@ FaultInjector::FaultInjector(double fault_rate, const BitDistribution& bits,
 // (alias table at high rates, inverse CDF at low ones — see gap_sampler.h).
 std::uint64_t FaultInjector::SampleGap() { return gaps_->Sample(rng_); }
 
-double FaultInjector::Corrupt(double value) {
-  ++faults_;
-  const int bit = bits_->sample(rng_);
+double FaultInjector::FlipBit(double value, int bit) {
   std::uint64_t word;
   std::memcpy(&word, &value, sizeof(word));
   word ^= (1ull << bit);
   std::memcpy(&value, &word, sizeof(value));
   return value;
+}
+
+double FaultInjector::Corrupt(double value) {
+  ++faults_;
+  return FlipBit(value, bits_->sample(rng_));
 }
 
 double FaultInjector::FaultPath(double clean_result) {
@@ -88,6 +121,18 @@ double FaultInjector::FaultPath(double clean_result) {
     // Rate 1: every op faults; no gap to sample (gaps_ is null here).
     scheduled_ += 1;
     return Corrupt(clean_result);
+  }
+  if (fused_) {
+    // One word pays for the whole fault: high half seeds the gap draw, low
+    // half the bit draw.
+    const std::uint64_t u = rng_.next();
+    const std::uint64_t gap =
+        gaps_->SampleFused(static_cast<std::uint32_t>(u >> 32), rng_);
+    scheduled_ += gap + 1;
+    countdown_ = gap;
+    ++faults_;
+    return FlipBit(clean_result,
+                   bits_->sample_fused(static_cast<std::uint32_t>(u)));
   }
   const std::uint64_t gap = SampleGap();
   scheduled_ += gap + 1;  // this op plus the next clean stretch
@@ -105,7 +150,11 @@ bool FaultInjector::FaultPathComparison(bool clean_result) {
     ++faults_;
     return !clean_result;
   }
-  const std::uint64_t gap = SampleGap();
+  // A comparison fault flips the predicate instead of a stored bit, so
+  // only the gap half of a fused word is consumed.
+  const std::uint64_t gap =
+      fused_ ? gaps_->SampleFused(static_cast<std::uint32_t>(rng_.next() >> 32), rng_)
+             : SampleGap();
   scheduled_ += gap + 1;
   countdown_ = gap;
   ++faults_;

@@ -46,6 +46,33 @@ struct ContextStats {
   std::uint64_t faults_injected = 0; // how many of them were corrupted
 };
 
+// How many LFSR words one fault costs.  Split (the historical default)
+// spends one word on the gap draw and one on the bit-position draw; fused
+// carves both out of a single word — high 32 bits pick the gap, low 32 the
+// bit — halving the per-fault RNG cost that dominates high-rate cells
+// (every alias probe then reads a 26-bit residual against the top 26 bits
+// of the 58-bit stay thresholds; the 2^-26 probability quantization is far
+// below what the statistical gates can resolve, and
+// tests/test_statistical.cpp holds the fused stream to the same
+// chi-square/KS criteria as the split one).  The fault *streams* differ
+// between modes for a fixed seed — they are statistically, not bitwise,
+// equivalent, exactly like the skip-ahead/per-op strategy pair.
+enum class RngMode {
+  kAuto,   // defer to ROBUSTIFY_RNG, else split
+  kSplit,  // one word per draw: gap, then bit position
+  kFused,  // one word per fault: high 32 bits gap, low 32 bits bit
+};
+
+// The ROBUSTIFY_RNG override every kAuto scope resolves through: kFused for
+// "fused", kSplit for "split", kAuto when unset or unrecognized.  Cached on
+// first use.
+RngMode EnvRngMode();
+
+// Perf-report label for a mode: "fused", "split", or "" for kAuto (the
+// unset default; perf JSON writers omit the field).  One mapping shared by
+// every report producer so the JSONs cannot drift.
+const char* RngModeName(RngMode mode);
+
 class FaultInjector {
  public:
   enum class Strategy {
@@ -57,13 +84,14 @@ class FaultInjector {
   // `bits` is captured by pointer and must outlive the injector; use
   // SharedBitDistribution() for the built-in models.  kAuto resolves via
   // the ROBUSTIFY_INJECTOR environment variable ("skip" or "perop") when
-  // set, else to kSkipAhead.
+  // set, else to kSkipAhead; rng kAuto resolves via ROBUSTIFY_RNG, else to
+  // kSplit (the per-op oracle always draws split, preserving its stream).
   FaultInjector(double fault_rate, const BitDistribution& bits, std::uint64_t seed,
-                Strategy strategy = Strategy::kAuto);
+                Strategy strategy = Strategy::kAuto, RngMode rng = RngMode::kAuto);
   // A temporary would dangle (only a pointer is kept); make it a compile
   // error instead of a use-after-free on the first injected fault.
   FaultInjector(double fault_rate, BitDistribution&& bits, std::uint64_t seed,
-                Strategy strategy = Strategy::kAuto) = delete;
+                Strategy strategy = Strategy::kAuto, RngMode rng = RngMode::kAuto) = delete;
 
   // Hot path: clean until the countdown expires.  In per-op mode the
   // countdown is pinned to zero, so control falls through to the original
@@ -134,6 +162,7 @@ class FaultInjector {
   }
 
   Strategy strategy() const { return per_op_ ? Strategy::kPerOp : Strategy::kSkipAhead; }
+  RngMode rng_mode() const { return fused_ ? RngMode::kFused : RngMode::kSplit; }
 
  private:
   static constexpr std::uint64_t kNever = ~0ull;
@@ -144,6 +173,7 @@ class FaultInjector {
   bool FaultPathComparison(bool clean_result);
   std::uint64_t SampleGap();
   double Corrupt(double value);
+  static double FlipBit(double value, int bit);
 
   const BitDistribution* bits_;
   const GeometricGapSampler* gaps_ = nullptr;  // null at rates 0 and 1
@@ -154,6 +184,7 @@ class FaultInjector {
   std::uint64_t faults_ = 0;
   std::uint64_t threshold_ = 0;   // fault_rate scaled to the uint64 range
   bool per_op_ = false;
+  bool fused_ = false;            // one LFSR word serves the gap + bit draws
   bool bulk_profitable_ = true;   // rate low enough for bulk clean runs
 };
 

@@ -37,8 +37,11 @@ void WritePerfJson(const std::string& path, const PerfReport& report) {
       << "  \"threads\": " << report.threads << ",\n"
       << "  \"injector_strategy\": \"" << JsonEscape(report.injector_strategy)
       << "\",\n"
-      << "  \"engine\": \"" << JsonEscape(report.engine) << "\",\n"
-      << "  \"wall_seconds\": " << Num(report.wall_seconds) << ",\n"
+      << "  \"engine\": \"" << JsonEscape(report.engine) << "\",\n";
+  if (!report.rng.empty()) {
+    out << "  \"rng\": \"" << JsonEscape(report.rng) << "\",\n";
+  }
+  out << "  \"wall_seconds\": " << Num(report.wall_seconds) << ",\n"
       << "  \"sections\": [";
   for (std::size_t i = 0; i < report.sections.size(); ++i) {
     const PerfSection& s = report.sections[i];
@@ -48,7 +51,12 @@ void WritePerfJson(const std::string& path, const PerfReport& report) {
         << " \"faulty_flops\": " << Num(s.faulty_flops) << ","
         << " \"injector_mops_per_sec\": " << Num(s.injector_mops_per_sec) << ","
         << " \"serial_wall_seconds\": " << Num(s.serial_wall_seconds) << ","
-        << " \"speedup_vs_serial\": " << Num(s.speedup_vs_serial) << "}";
+        << " \"speedup_vs_serial\": " << Num(s.speedup_vs_serial);
+    if (s.trials_budget > 0.0) {
+      out << "," << " \"trials_run\": " << Num(s.trials_run) << ","
+          << " \"trials_budget\": " << Num(s.trials_budget);
+    }
+    out << "}";
   }
   out << "\n  ]\n}\n";
   if (!out.good()) throw std::runtime_error("failed writing perf report: " + path);

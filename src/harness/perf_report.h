@@ -19,6 +19,10 @@ struct PerfSection {
   double injector_mops_per_sec = 0.0;
   double serial_wall_seconds = 0.0; // 0 = serial rerun not measured
   double speedup_vs_serial = 0.0;   // 0 = not measured
+  // Adaptive-campaign accounting (0 = fixed-budget section, not tracked):
+  // accepted trials vs. the fixed budget the same spec would have spent.
+  double trials_run = 0.0;
+  double trials_budget = 0.0;
 };
 
 struct PerfReport {
@@ -26,6 +30,7 @@ struct PerfReport {
   int threads = 1;
   std::string injector_strategy;  // "auto", "skip-ahead", or "per-op"
   std::string engine;             // "auto", "block", or "scalar"
+  std::string rng;                // "", "split", or "fused" (ROBUSTIFY_RNG)
   double wall_seconds = 0.0;      // whole-process wall time
   std::vector<PerfSection> sections;
 };

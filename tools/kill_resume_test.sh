@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Kill-and-resume acceptance test for the campaign checkpoint journal.
+#
+# 1. Runs a reference adaptive campaign to completion  -> reference CSV.
+# 2. Starts the identical campaign fresh, SIGKILLs it mid-flight.
+# 3. Resumes from the (possibly torn) journal.
+# 4. Asserts the resumed CSV is byte-identical to the reference.
+#
+# The campaign is sized to run for several seconds (tight CI, generous
+# budget, single thread, batch=1 so the journal grows continuously) and the
+# kill lands early; if the process happens to finish before the kill, the
+# script retries with an earlier kill rather than passing vacuously.
+#
+# Usage: kill_resume_test.sh <path-to-robustify_cli> [workdir]
+set -u
+
+CLI=${1:?usage: kill_resume_test.sh <robustify_cli> [workdir]}
+WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+
+# A deliberately slow allocation: high-rate sort cells cost the most per
+# trial, and ci=0.02 forces transition cells to run deep into the budget.
+ARGS=(run fig6_1 --rates=0.05,0.1,0.2 --series=SGD+AS,SQS --series=Base
+      --ci=0.02 --budget=400 --batch=1 --threads=1)
+
+REF_CSV="$WORKDIR/reference.csv"
+REF_JOURNAL="$WORKDIR/reference.journal"
+echo "== reference run (uninterrupted) =="
+"$CLI" "${ARGS[@]}" --journal="$REF_JOURNAL" --csv="$REF_CSV" \
+    --json="$WORKDIR/reference.json" > "$WORKDIR/reference.log" 2>&1 \
+    || { echo "reference run failed"; cat "$WORKDIR/reference.log"; exit 1; }
+
+KILL_CSV="$WORKDIR/killed.csv"
+KILL_JOURNAL="$WORKDIR/killed.journal"
+
+for delay in 2.0 1.0 0.5 0.25; do
+  rm -f "$KILL_JOURNAL" "$KILL_CSV"
+  echo "== interrupted run (SIGKILL after ${delay}s) =="
+  "$CLI" "${ARGS[@]}" --journal="$KILL_JOURNAL" --csv="$KILL_CSV" \
+      --json="$WORKDIR/killed.json" > "$WORKDIR/killed.log" 2>&1 &
+  pid=$!
+  sleep "$delay"
+  if ! kill -KILL "$pid" 2>/dev/null; then
+    wait "$pid" 2>/dev/null
+    echo "   campaign finished before the kill; retrying with a shorter delay"
+    continue
+  fi
+  wait "$pid" 2>/dev/null
+  if [ ! -s "$KILL_JOURNAL" ]; then
+    echo "   killed before the journal header was written; retrying"
+    continue
+  fi
+  lines=$(wc -l < "$KILL_JOURNAL")
+  echo "   journal has $lines lines at kill time"
+  echo "== resume =="
+  # Same flag list as the run ("${ARGS[@]:1}" drops the 'run' verb) so the
+  # two command lines cannot drift apart.
+  "$CLI" resume "${ARGS[@]:1}" \
+      --journal="$KILL_JOURNAL" --csv="$KILL_CSV" \
+      --json="$WORKDIR/resumed.json" > "$WORKDIR/resume.log" 2>&1 \
+      || { echo "resume failed"; cat "$WORKDIR/resume.log"; exit 1; }
+  grep -E "replayed from journal" "$WORKDIR/resume.log" || true
+  if cmp -s "$REF_CSV" "$KILL_CSV"; then
+    echo "PASS: resumed CSV is byte-identical to the uninterrupted run"
+    exit 0
+  fi
+  echo "FAIL: resumed CSV differs from the uninterrupted run"
+  diff "$REF_CSV" "$KILL_CSV" | head -20
+  exit 1
+done
+
+echo "FAIL: could not interrupt the campaign mid-flight (too fast on this host?)"
+exit 1

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json perf reports against committed baselines.
+
+The perf/ directory holds measured reference points of the optimization
+trajectory (see perf/README.md); every bench and the campaign CLI write a
+BENCH_<name>.json next to their CSVs.  This tool matches fresh reports to
+baselines and prints per-section wall-time and injector-throughput deltas.
+
+Matching: a fresh report is compared against every baseline file whose
+"bench" field is the same; section rows pair by section name.  Baselines
+measured with different flags (axes, trial counts, strategies) are still
+listed — the flags live in the baseline's filename by convention — so the
+output is a comparison table to read, not a gate.  By default the exit code
+is always 0 (warn-only, for CI); --strict exits 1 when any same-filename
+baseline regresses by more than --threshold.
+
+Usage:
+  perf_diff.py --baseline perf/ --fresh build/ [--threshold 0.25] [--strict]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_reports(directory):
+    reports = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path) as f:
+                reports[os.path.basename(path)] = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"perf_diff: skipping unreadable {path}: {e}", file=sys.stderr)
+    return reports
+
+
+def fmt_delta(fresh, base):
+    if base <= 0.0:
+        return "      n/a"
+    ratio = fresh / base
+    return f"{(ratio - 1.0) * 100.0:+8.1f}%"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed perf/ directory")
+    parser.add_argument("--fresh", required=True, help="directory with fresh BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative wall-time regression considered notable")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when a same-filename baseline regresses past "
+                             "the threshold (default: warn-only)")
+    args = parser.parse_args()
+
+    baselines = load_reports(args.baseline)
+    fresh = load_reports(args.fresh)
+    if not fresh:
+        print(f"perf_diff: no fresh BENCH_*.json under {args.fresh}")
+        return 0
+
+    regressions = []
+    for fresh_name, fresh_report in fresh.items():
+        bench = fresh_report.get("bench", "?")
+        matches = {name: rep for name, rep in baselines.items()
+                   if rep.get("bench") == bench}
+        if not matches:
+            print(f"{fresh_name} [{bench}]: no committed baseline")
+            continue
+        for base_name, base_report in sorted(matches.items()):
+            same_file = base_name == fresh_name
+            comparable = "=" if same_file else "~"  # ~: flags may differ, read with care
+            base_sections = {s.get("name"): s for s in base_report.get("sections", [])}
+            for section in fresh_report.get("sections", []):
+                base = base_sections.get(section.get("name"))
+                if base is None:
+                    continue
+                wall, base_wall = section.get("wall_seconds", 0.0), base.get("wall_seconds", 0.0)
+                mops, base_mops = (section.get("injector_mops_per_sec", 0.0),
+                                   base.get("injector_mops_per_sec", 0.0))
+                print(f"{comparable} {fresh_name} [{section.get('name')}] vs {base_name}: "
+                      f"wall {wall:.3f}s vs {base_wall:.3f}s ({fmt_delta(wall, base_wall)}), "
+                      f"{mops:.0f} vs {base_mops:.0f} Mops/s ({fmt_delta(mops, base_mops)})")
+                if same_file and base_wall > 0.0 and wall > base_wall * (1.0 + args.threshold):
+                    regressions.append(
+                        f"{fresh_name} [{section.get('name')}]: "
+                        f"{wall:.3f}s vs {base_wall:.3f}s baseline")
+
+    if regressions:
+        print("\nperf_diff: notable wall-time regressions "
+              f"(> {args.threshold * 100:.0f}% vs same-filename baseline):")
+        for r in regressions:
+            print(f"  {r}")
+        if args.strict:
+            return 1
+        print("perf_diff: warn-only mode (pass --strict to fail); hardware and "
+              "load differ across hosts, so read deltas as trends, not gates.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
