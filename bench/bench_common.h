@@ -12,6 +12,10 @@
 //   --threads=N        worker threads (default: ROBUSTIFY_THREADS, else all)
 //   --json=PATH        perf report path (default BENCH_<name>.json)
 //   --compare-serial   rerun each sweep on one thread and report the speedup
+//   --trace[=PATH]     flight-recorder spans -> Chrome trace JSON
+//                      (default TRACE_<name>.json; load in Perfetto)
+//   --metrics=PATH     merged counter/histogram snapshot + provenance JSON
+//   --progress         heartbeat lines on stderr (units done, trials/s, ETA)
 #pragma once
 
 #include <cstdlib>
@@ -25,6 +29,10 @@
 #include "harness/sweep.h"
 #include "harness/table.h"
 #include "harness/timer.h"
+#include "telemetry/metrics_export.h"
+#include "telemetry/progress.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace robustify::bench {
 
@@ -56,6 +64,9 @@ struct BenchOptions {
   int threads = 0;             // 0: auto (ROBUSTIFY_THREADS, else hardware)
   std::string json_path;       // empty: BENCH_<name>.json
   bool compare_serial = false;
+  bool trace = false;          // --trace[=PATH]: span collection + JSON dump
+  std::string trace_path;      // empty with trace: TRACE_<name>.json
+  std::string metrics_path;    // empty: no --metrics export
 };
 
 // Parses the shared flags, applies sweep overrides, times every sweep, and
@@ -106,14 +117,25 @@ class BenchContext {
         options_.json_path = arg.substr(7);
       } else if (arg == "--compare-serial") {
         options_.compare_serial = true;
+      } else if (arg == "--trace") {
+        options_.trace = true;
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        options_.trace = true;
+        options_.trace_path = arg.substr(8);
+      } else if (arg.rfind("--metrics=", 0) == 0) {
+        options_.metrics_path = arg.substr(10);
+      } else if (arg == "--progress") {
+        telemetry::EnableProgress();
       } else {
         std::cerr << "unknown argument: " << arg << "\n"
                   << "usage: " << name
                   << " [--trials=N] [--rates=a,b,c] [--threads=N] [--json=PATH]"
-                     " [--compare-serial]\n";
+                     " [--compare-serial] [--trace[=PATH]] [--metrics=PATH]"
+                     " [--progress]\n";
         std::exit(2);
       }
     }
+    if (options_.trace) telemetry::StartTracing();
   }
 
   const BenchOptions& options() const { return options_; }
@@ -183,10 +205,12 @@ class BenchContext {
     report_.sections.push_back(section);
   }
 
-  // Writes the perf report; call as the last statement of main().
+  // Writes the perf report (and any requested trace/metrics exports); call
+  // as the last statement of main().
   int Finish() {
     report_.threads = harness::ResolveThreadCount(options_.threads);
     report_.wall_seconds = total_.Seconds();
+    harness::AttachCounters(&report_);
     const std::string path =
         options_.json_path.empty() ? "BENCH_" + report_.bench + ".json"
                                    : options_.json_path;
@@ -195,6 +219,30 @@ class BenchContext {
       std::cout << "[perf json written: " << path << "]\n";
     } catch (const std::exception& e) {
       std::cout << "[perf json skipped: " << e.what() << "]\n";
+    }
+    // ROBUSTIFY_TRACE=1 activates collection without the flag; dump in
+    // either case so the recording is never silently lost.
+    if (telemetry::TracingActive() || options_.trace) {
+      const std::string trace_path =
+          options_.trace_path.empty() ? "TRACE_" + report_.bench + ".json"
+                                      : options_.trace_path;
+      if (telemetry::WriteTrace(trace_path)) {
+        std::cout << "[trace written: " << trace_path << "]\n";
+      }
+    }
+    if (!options_.metrics_path.empty()) {
+      telemetry::MetricsContext context;
+      context.bench = report_.bench;
+      context.threads = report_.threads;
+      context.injector_strategy = report_.injector_strategy;
+      context.engine = report_.engine;
+      context.rng = report_.rng;
+      try {
+        telemetry::WriteMetricsJson(options_.metrics_path, context);
+        std::cout << "[metrics json written: " << options_.metrics_path << "]\n";
+      } catch (const std::exception& e) {
+        std::cout << "[metrics json skipped: " << e.what() << "]\n";
+      }
     }
     return 0;
   }

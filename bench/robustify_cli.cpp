@@ -23,6 +23,10 @@
 //                  resume requires it)
 //   --csv=PATH     output CSV (default campaign_<name>.csv)
 //   --json=PATH    perf report (default BENCH_campaign_<name>.json)
+//   --trace[=PATH] flight-recorder spans -> Chrome trace JSON
+//                  (default TRACE_campaign_<name>.json; load in Perfetto)
+//   --metrics=PATH merged counter/histogram snapshot + provenance JSON
+//   --progress     heartbeat lines on stderr (cells done, trials/s, ETA)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +44,9 @@
 #include "harness/perf_report.h"
 #include "harness/table.h"
 #include "harness/timer.h"
+#include "telemetry/metrics_export.h"
+#include "telemetry/progress.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -51,7 +58,8 @@ int Usage() {
       << "       robustify_cli {run,resume} <fig|spec-file> [--ci=H] [--budget=N]\n"
       << "           [--min-trials=N] [--batch=N] [--fixed] [--trials=N]\n"
       << "           [--rates=a,b,c] [--series=NAME]... [--seed=N] [--threads=N]\n"
-      << "           [--journal=PATH] [--csv=PATH] [--json=PATH]\n";
+      << "           [--journal=PATH] [--csv=PATH] [--json=PATH]\n"
+      << "           [--trace[=PATH]] [--metrics=PATH] [--progress]\n";
   return 2;
 }
 
@@ -113,6 +121,9 @@ struct CliOptions {
   campaign::RunnerOptions runner;
   std::string csv_path;
   std::string json_path;
+  bool trace = false;
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 int RunCampaignCommand(bool resume, const std::string& target,
@@ -158,6 +169,15 @@ int RunCampaignCommand(bool resume, const std::string& target,
       cli.csv_path = arg.substr(6);
     } else if (arg.rfind("--json=", 0) == 0) {
       cli.json_path = arg.substr(7);
+    } else if (arg == "--trace") {
+      cli.trace = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      cli.trace = true;
+      cli.trace_path = arg.substr(8);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      cli.metrics_path = arg.substr(10);
+    } else if (arg == "--progress") {
+      telemetry::EnableProgress();
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return Usage();
@@ -171,6 +191,11 @@ int RunCampaignCommand(bool resume, const std::string& target,
   if (cli.csv_path.empty()) cli.csv_path = "campaign_" + cli.spec.name + ".csv";
   if (cli.json_path.empty()) {
     cli.json_path = "BENCH_campaign_" + cli.spec.name + ".json";
+  }
+
+  if (cli.trace) telemetry::StartTracing();
+  if (cli.trace_path.empty()) {
+    cli.trace_path = "TRACE_campaign_" + cli.spec.name + ".json";
   }
 
   const campaign::Scenario scenario = campaign::BuildScenario(cli.spec);
@@ -240,11 +265,34 @@ int RunCampaignCommand(bool resume, const std::string& target,
   section.trials_run = static_cast<double>(result.total_trials);
   section.trials_budget = static_cast<double>(result.budget_trials);
   report.sections.push_back(section);
+  harness::AttachCounters(&report);
   try {
     harness::WritePerfJson(cli.json_path, report);
     std::cout << "[perf json written: " << cli.json_path << "]\n";
   } catch (const std::exception& e) {
     std::cout << "[perf json skipped: " << e.what() << "]\n";
+  }
+
+  // ROBUSTIFY_TRACE=1 activates collection without the flag; dump in
+  // either case so the recording is never silently lost.
+  if (telemetry::TracingActive() || cli.trace) {
+    if (telemetry::WriteTrace(cli.trace_path)) {
+      std::cout << "[trace written: " << cli.trace_path << "]\n";
+    }
+  }
+  if (!cli.metrics_path.empty()) {
+    telemetry::MetricsContext context;
+    context.bench = report.bench;
+    context.threads = report.threads;
+    context.injector_strategy = report.injector_strategy;
+    context.engine = report.engine;
+    context.rng = report.rng;
+    try {
+      telemetry::WriteMetricsJson(cli.metrics_path, context);
+      std::cout << "[metrics json written: " << cli.metrics_path << "]\n";
+    } catch (const std::exception& e) {
+      std::cout << "[metrics json skipped: " << e.what() << "]\n";
+    }
   }
   return 0;
 }

@@ -6,6 +6,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
 namespace robustify::campaign {
 
 namespace {
@@ -128,6 +131,9 @@ void CampaignJournal::RewriteAndOpen(std::uint64_t fingerprint,
 
 void CampaignJournal::Append(const TrialRecord* records, std::size_t count) {
   if (count == 0) return;
+  telemetry::SpanScope flush_span("checkpoint.flush");
+  telemetry::Count(telemetry::Counter::kCheckpointFlushes);
+  telemetry::Count(telemetry::Counter::kCheckpointRecords, count);
   std::string block;
   for (std::size_t i = 0; i < count; ++i) block += FormatRecord(records[i]);
   std::lock_guard<std::mutex> lock(mu_);

@@ -8,6 +8,9 @@
 #include "core/fault_env.h"
 #include "harness/parallel.h"
 #include "harness/trial.h"
+#include "telemetry/progress.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace robustify::campaign {
 
@@ -39,6 +42,7 @@ TrialRecord ToRecord(const harness::TrialOutcome& out, int series, int rate,
 
 CampaignResult RunCampaign(const CampaignSpec& spec, const Scenario& scenario,
                            const RunnerOptions& options) {
+  telemetry::SpanScope campaign_span("campaign");
   const int series_count = static_cast<int>(scenario.series.size());
   const int rate_count = static_cast<int>(spec.fault_rates.size());
   const int cell_count = series_count * rate_count;
@@ -116,7 +120,9 @@ CampaignResult RunCampaign(const CampaignSpec& spec, const Scenario& scenario,
   }
 
   // ---- the cell grid, dynamically claimed -----------------------------------
+  telemetry::ProgressBegin("campaign", cell_count);
   harness::ParallelFor(cell_count, options.threads, [&](int cell) {
+    telemetry::SpanScope cell_span("cell");
     const int s = cell / rate_count;
     const int r = cell % rate_count;
     std::vector<harness::TrialOutcome>& outcomes =
@@ -163,7 +169,27 @@ CampaignResult RunCampaign(const CampaignSpec& spec, const Scenario& scenario,
     CellStats& cs = stats[static_cast<std::size_t>(cell)];
     cs.trials = controller.trials();
     cs.settled = controller.settled();
+
+    // Per-cell telemetry, from the same controller state that feeds the
+    // result (counter totals are thread-count independent by construction).
+    telemetry::Count(telemetry::Counter::kCampaignCells);
+    if (controller.settled()) {
+      telemetry::Count(telemetry::Counter::kCampaignCellsSettled);
+    }
+    telemetry::Count(telemetry::Counter::kCampaignTrials,
+                     static_cast<std::uint64_t>(controller.trials()));
+    telemetry::Count(telemetry::Counter::kCampaignTrialsResumed,
+                     static_cast<std::uint64_t>(replayed));
+    telemetry::Observe(telemetry::Histogram::kCampaignTrialsToStop,
+                       static_cast<std::uint64_t>(controller.trials()));
+    const double half_width =
+        WilsonHalfWidth(controller.successes(), controller.trials());
+    telemetry::Observe(telemetry::Histogram::kCampaignStopHalfWidthPpm,
+                       static_cast<std::uint64_t>(half_width * 1e6));
+    telemetry::ProgressUnitDone(controller.trials() -
+                                static_cast<int>(replayed));
   });
+  telemetry::ProgressEnd();
 
   // ---- serial in-order reduction --------------------------------------------
   CampaignResult result;

@@ -15,6 +15,7 @@
 #include "faulty/block_engine.h"
 #include "faulty/fault_injector.h"
 #include "faulty/real.h"
+#include "telemetry/telemetry.h"
 
 namespace robustify::core {
 
@@ -36,6 +37,15 @@ struct FaultEnvironment {
 };
 
 namespace detail {
+
+// Feed the injector telemetry counters once per scope, from the same
+// ContextStats the injector already maintains for the CSVs — telemetry adds
+// nothing to the per-op path and cannot diverge from the published numbers.
+inline void CountScopeTelemetry(const faulty::ContextStats& stats) {
+  telemetry::Count(telemetry::Counter::kInjectorScopes);
+  telemetry::Count(telemetry::Counter::kInjectorFaults, stats.faults_injected);
+  telemetry::Count(telemetry::Counter::kInjectorFlops, stats.faulty_flops);
+}
 
 // RAII: swap the thread's injector in, restore the previous one on exit.
 class FaultScope {
@@ -67,13 +77,17 @@ auto WithFaultyFpu(const FaultEnvironment& env, Fn&& fn,
       detail::FaultScope scope(&injector);
       std::forward<Fn>(fn)();
     }
-    if (stats) *stats = injector.stats();
+    const faulty::ContextStats final_stats = injector.stats();
+    if (stats) *stats = final_stats;
+    detail::CountScopeTelemetry(final_stats);
   } else {
     struct Finalizer {
       faulty::FaultInjector& injector;
       faulty::ContextStats* stats;
       ~Finalizer() {
-        if (stats) *stats = injector.stats();
+        const faulty::ContextStats final_stats = injector.stats();
+        if (stats) *stats = final_stats;
+        detail::CountScopeTelemetry(final_stats);
       }
     };
     faulty::EngineScope engine_scope(env.engine);

@@ -4,6 +4,9 @@
 #include <cstring>
 #include <string>
 
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
 namespace robustify::faulty {
 
 // ROBUSTIFY_INJECTOR=skip|perop forces a strategy for every kAuto injector
@@ -131,12 +134,18 @@ double FaultInjector::FaultPath(double clean_result) {
     scheduled_ += gap + 1;
     countdown_ = gap;
     ++faults_;
+    // Telemetry on the already-cold per-fault path only: the countdown hot
+    // path stays untouched, and nothing here reads the simulation RNG.
+    telemetry::Observe(telemetry::Histogram::kInjectorCleanRun, gap);
+    telemetry::FaultInstant();
     return FlipBit(clean_result,
                    bits_->sample_fused(static_cast<std::uint32_t>(u)));
   }
   const std::uint64_t gap = SampleGap();
   scheduled_ += gap + 1;  // this op plus the next clean stretch
   countdown_ = gap;
+  telemetry::Observe(telemetry::Histogram::kInjectorCleanRun, gap);
+  telemetry::FaultInstant();
   return Corrupt(clean_result);
 }
 
@@ -158,6 +167,8 @@ bool FaultInjector::FaultPathComparison(bool clean_result) {
   scheduled_ += gap + 1;
   countdown_ = gap;
   ++faults_;
+  telemetry::Observe(telemetry::Histogram::kInjectorCleanRun, gap);
+  telemetry::FaultInstant();
   return !clean_result;
 }
 

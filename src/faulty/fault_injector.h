@@ -103,7 +103,7 @@ class FaultInjector {
       return clean_result;
     }
     if (per_op_) {
-      ++per_op_ops_;
+      ++scheduled_;
       if (threshold_ != 0 && rng_.next() < threshold_) return Corrupt(clean_result);
       return clean_result;
     }
@@ -119,7 +119,7 @@ class FaultInjector {
       return clean_result;
     }
     if (per_op_) {
-      ++per_op_ops_;
+      ++scheduled_;
       if (threshold_ != 0 && rng_.next() < threshold_) {
         ++faults_;
         return !clean_result;
@@ -155,8 +155,11 @@ class FaultInjector {
 
   ContextStats stats() const {
     ContextStats s;
-    // Skip-ahead invariant (mod 2^64): ops executed = scheduled_ - countdown_.
-    s.faulty_flops = per_op_ ? per_op_ops_ : scheduled_ - countdown_;
+    // Single invariant for both strategies (mod 2^64): ops executed =
+    // scheduled_ - countdown_.  Skip-ahead keeps countdown_ inside the last
+    // sampled gap; per-op mode pins countdown_ at 0 and bumps scheduled_
+    // once per op, so the same subtraction is the plain op count.
+    s.faulty_flops = scheduled_ - countdown_;
     s.faults_injected = faults_;
     return s;
   }
@@ -179,8 +182,8 @@ class FaultInjector {
   const GeometricGapSampler* gaps_ = nullptr;  // null at rates 0 and 1
   Lfsr rng_;
   std::uint64_t countdown_ = 0;   // clean ops left before the next fault
-  std::uint64_t scheduled_ = 0;   // cumulative ops covered by sampled gaps
-  std::uint64_t per_op_ops_ = 0;  // per-op mode: explicit op counter
+  std::uint64_t scheduled_ = 0;   // ops covered: sampled gaps (skip-ahead)
+                                  // or one per op (per-op oracle)
   std::uint64_t faults_ = 0;
   std::uint64_t threshold_ = 0;   // fault_rate scaled to the uint64 range
   bool per_op_ = false;

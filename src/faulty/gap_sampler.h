@@ -26,6 +26,7 @@
 #include <cstdint>
 
 #include "faulty/lfsr.h"
+#include "telemetry/telemetry.h"
 
 namespace robustify::faulty {
 
@@ -54,7 +55,11 @@ class GeometricGapSampler {
 
   // One gap draw from `rng`; kNever when the sampled gap exceeds 2^64.
   std::uint64_t Sample(Lfsr& rng) const {
-    if (!table_) return SampleInverseCdf(rng);
+    if (!table_) {
+      telemetry::Count(telemetry::Counter::kGapDrawsInvCdf);
+      return SampleInverseCdf(rng);
+    }
+    telemetry::Count(telemetry::Counter::kGapDrawsTable);
     std::uint64_t base = 0;
     for (;;) {
       // Same draw split as BitDistribution: top 6 bits pick the slot, the
@@ -78,6 +83,7 @@ class GeometricGapSampler {
   // far below what the statistical gates resolve (test_statistical.cpp
   // holds this stream to the same chi-square/KS criteria as Sample()).
   std::uint64_t SampleFused(std::uint32_t u, Lfsr& rng) const {
+    telemetry::Count(telemetry::Counter::kGapDrawsFused);
     if (!table_) return SampleInverseCdf32(u);
     const int slot = static_cast<int>(u >> 26);
     const std::uint32_t r = u & ((1u << 26) - 1);

@@ -4,6 +4,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/provenance.h"
+#include "telemetry/telemetry.h"
+
 namespace robustify::harness {
 
 namespace {
@@ -29,6 +32,17 @@ std::string Num(double v) {
 
 }  // namespace
 
+void AttachCounters(PerfReport* report) {
+  report->counters.clear();
+  const telemetry::CounterSnapshot snapshot = telemetry::SnapshotCounters();
+  for (int c = 0; c < telemetry::kNumCounters; ++c) {
+    if (snapshot.counters[c] == 0) continue;
+    report->counters.emplace_back(
+        telemetry::CounterName(static_cast<telemetry::Counter>(c)),
+        snapshot.counters[c]);
+  }
+}
+
 void WritePerfJson(const std::string& path, const PerfReport& report) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open perf report for writing: " + path);
@@ -41,6 +55,12 @@ void WritePerfJson(const std::string& path, const PerfReport& report) {
   if (!report.rng.empty()) {
     out << "  \"rng\": \"" << JsonEscape(report.rng) << "\",\n";
   }
+  const telemetry::BuildProvenance& prov = telemetry::Provenance();
+  out << "  \"provenance\": {\"git_sha\": \"" << JsonEscape(prov.git_sha)
+      << "\", \"git_status\": \"" << JsonEscape(prov.git_status)
+      << "\", \"compiler\": \"" << JsonEscape(prov.compiler)
+      << "\", \"cxx_flags\": \"" << JsonEscape(prov.cxx_flags)
+      << "\", \"build_type\": \"" << JsonEscape(prov.build_type) << "\"},\n";
   out << "  \"wall_seconds\": " << Num(report.wall_seconds) << ",\n"
       << "  \"sections\": [";
   for (std::size_t i = 0; i < report.sections.size(); ++i) {
@@ -58,7 +78,13 @@ void WritePerfJson(const std::string& path, const PerfReport& report) {
     }
     out << "}";
   }
-  out << "\n  ]\n}\n";
+  out << "\n  ],\n  \"counters\": {";
+  for (std::size_t i = 0; i < report.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << JsonEscape(report.counters[i].first)
+        << "\": " << report.counters[i].second;
+  }
+  out << (report.counters.empty() ? "" : "\n  ") << "}\n}\n";
   if (!out.good()) throw std::runtime_error("failed writing perf report: " + path);
 }
 

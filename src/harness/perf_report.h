@@ -7,7 +7,9 @@
 // compare against.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace robustify::harness {
@@ -33,10 +35,19 @@ struct PerfReport {
   std::string rng;                // "", "split", or "fused" (ROBUSTIFY_RNG)
   double wall_seconds = 0.0;      // whole-process wall time
   std::vector<PerfSection> sections;
+  // Merged telemetry counter snapshot at report time (nonzero counters
+  // only; empty when telemetry is compiled out).  Exact uint64 values —
+  // tools/perf_diff.py --exact-counters diffs them bit for bit.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
 
-// Writes the report as JSON.  Throws std::runtime_error when the file
-// cannot be written.
+// Copies the nonzero counters of the current merged telemetry snapshot
+// into report->counters (replacing any previous contents).
+void AttachCounters(PerfReport* report);
+
+// Writes the report as JSON, embedding the build-provenance block (git SHA,
+// compiler, flags) alongside the measurements.  Throws std::runtime_error
+// when the file cannot be written.
 void WritePerfJson(const std::string& path, const PerfReport& report);
 
 }  // namespace robustify::harness

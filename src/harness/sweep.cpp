@@ -1,11 +1,14 @@
 #include "harness/sweep.h"
 
 #include "harness/parallel.h"
+#include "telemetry/progress.h"
+#include "telemetry/trace.h"
 
 namespace robustify::harness {
 
 std::vector<Series> RunFaultRateSweep(const SweepConfig& config,
                                       const std::vector<NamedTrial>& trials) {
+  telemetry::SpanScope sweep_span("sweep");
   const int series_count = static_cast<int>(trials.size());
   const int rate_count = static_cast<int>(config.fault_rates.size());
   const int reps = config.trials > 0 ? config.trials : 0;
@@ -14,6 +17,7 @@ std::vector<Series> RunFaultRateSweep(const SweepConfig& config,
   // disjoint slots, the reduction below reads them in deterministic order.
   std::vector<TrialOutcome> outcomes(
       static_cast<std::size_t>(series_count * rate_count * reps));
+  telemetry::ProgressBegin("sweep", series_count * rate_count * reps);
   ParallelFor(series_count * rate_count * reps, config.threads, [&](int cell) {
     const int s = cell / (rate_count * reps);
     const int r = (cell / reps) % rate_count;
@@ -24,7 +28,9 @@ std::vector<Series> RunFaultRateSweep(const SweepConfig& config,
     env.bit_model = config.bit_model;
     outcomes[static_cast<std::size_t>(cell)] =
         RunSingleTrial(trials[static_cast<std::size_t>(s)].fn, env, t);
+    telemetry::ProgressUnitDone(1);
   });
+  telemetry::ProgressEnd();
 
   std::vector<Series> result;
   result.reserve(trials.size());

@@ -6,11 +6,13 @@
 #include <vector>
 
 #include "harness/parallel.h"
+#include "telemetry/trace.h"
 
 namespace robustify::harness {
 
 TrialOutcome RunSingleTrial(const TrialFn& fn, core::FaultEnvironment env,
                             int trial_index) {
+  telemetry::SpanScope trial_span("trial");
   env.seed += static_cast<std::uint64_t>(trial_index);
   return fn(env);
 }

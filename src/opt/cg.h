@@ -15,6 +15,8 @@
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 #include "opt/workspace.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace robustify::opt {
 
@@ -36,6 +38,8 @@ void SolveCglsInto(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
                    const CgOptions& options, Workspace<T>* workspace,
                    CgResult* result) {
   using linalg::AsDouble;
+  telemetry::SpanScope solve_span("solve.cgls");
+  telemetry::Count(telemetry::Counter::kCglsSolves);
   Workspace<T>& ws = workspace != nullptr ? *workspace : ThreadWorkspace<T>();
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
@@ -60,9 +64,11 @@ void SolveCglsInto(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
   T gamma = NormSquared(s);
 
   int performed = 0;
+  std::uint64_t restarts = 0;
   bool need_restart = false;
   for (int it = 0; it < options.iterations; ++it, ++performed) {
     if (need_restart || (options.restart_every > 0 && it > 0 && it % options.restart_every == 0)) {
+      ++restarts;
       // Scrub any non-finite coordinates, then restart from the true residual.
       for (std::size_t j = 0; j < n; ++j) {
         if (!std::isfinite(AsDouble(x[j]))) x[j] = T(0);
@@ -109,6 +115,9 @@ void SolveCglsInto(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
   for (std::size_t j = 0; j < n; ++j) result->x[j] = AsDouble(x[j]);
   result->iterations = performed;
   result->residual_norm = AsDouble(Norm(r));
+  telemetry::Count(telemetry::Counter::kCglsIterations,
+                   static_cast<std::uint64_t>(performed));
+  telemetry::Count(telemetry::Counter::kCglsRestarts, restarts);
 }
 
 template <class T>

@@ -18,6 +18,8 @@
 #include "linalg/scalar.h"
 #include "linalg/vector.h"
 #include "opt/workspace.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace robustify::opt {
 
@@ -93,6 +95,8 @@ linalg::Vector<T> MinimizeSgd(Objective& objective, linalg::Vector<T> x,
                               const SgdOptions& options,
                               Workspace<T>* workspace = nullptr) {
   using linalg::AsDouble;
+  telemetry::SpanScope solve_span("solve.sgd");
+  telemetry::Count(telemetry::Counter::kSgdSolves);
   Workspace<T>& ws = workspace != nullptr ? *workspace : ThreadWorkspace<T>();
   const std::size_t n = x.size();
   const double tau = options.scaling_time_constant > 0.0
@@ -135,6 +139,8 @@ linalg::Vector<T> MinimizeSgd(Objective& objective, linalg::Vector<T> x,
   int t = 0;
   for (std::size_t phase_idx = 0; phase_idx < phase_count; ++phase_idx) {
     const core::Phase& phase = schedule[phase_idx];
+    telemetry::SpanScope phase_span("phase");
+    telemetry::Count(telemetry::Counter::kSgdPhases);
     objective.SetPenaltyScale(phase.penalty_scale);
     int phase_iters = static_cast<int>(phase.fraction * options.iterations + 0.5);
     if (phase_idx + 1 == phase_count) phase_iters = options.iterations - t;
@@ -150,6 +156,7 @@ linalg::Vector<T> MinimizeSgd(Objective& objective, linalg::Vector<T> x,
         // Redundant evaluation with reliable per-component median voting:
         // a catastrophic fault must hit the same component in two of three
         // evaluations to survive into the update.
+        telemetry::Count(telemetry::Counter::kSgdTmrVotes);
         objective.Gradient(x, &gradient);
         objective.Gradient(x, &vote2);
         objective.Gradient(x, &vote3);
@@ -248,8 +255,10 @@ linalg::Vector<T> MinimizeSgd(Objective& objective, linalg::Vector<T> x,
           for (std::size_t j = 0; j < n; ++j) x[j] = candidate[j];
           fx = fc;
           adapt = std::min(1.0, adapt * 1.15);
+          telemetry::Count(telemetry::Counter::kSgdAccepts);
         } else {
           adapt = std::max(0.05, adapt * 0.7);
+          telemetry::Count(telemetry::Counter::kSgdRejects);
         }
       } else {
         for (std::size_t j = 0; j < n; ++j) x[j] = candidate[j];
@@ -264,6 +273,8 @@ linalg::Vector<T> MinimizeSgd(Objective& objective, linalg::Vector<T> x,
     }
   }
   objective.SetPenaltyScale(1.0);
+  telemetry::Count(telemetry::Counter::kSgdIterations,
+                   static_cast<std::uint64_t>(t));
   if (averaged_iterates > 0) {
     for (std::size_t j = 0; j < n; ++j) {
       x[j] = T(AsDouble(average_sum[j]) / averaged_iterates);

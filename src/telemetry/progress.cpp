@@ -1,0 +1,115 @@
+#include "telemetry/progress.h"
+
+#if ROBUSTIFY_TELEMETRY_ENABLED
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace robustify::telemetry {
+
+namespace detail {
+std::atomic<bool> g_progress_enabled{false};
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kHeartbeatSeconds = 0.7;
+// EWMA weight of the newest per-unit interval: heavy enough to adapt as a
+// campaign moves from cheap saturated cells to expensive transition cells,
+// light enough not to whipsaw on a single outlier.
+constexpr double kEwmaAlpha = 0.2;
+
+struct ProgressState {
+  std::mutex mu;
+  const char* label = "run";
+  long total_units = 0;
+  long done_units = 0;
+  long trials = 0;
+  Clock::time_point started;
+  Clock::time_point last_unit;
+  Clock::time_point last_print;
+  double ewma_unit_seconds = 0.0;
+  bool active = false;
+};
+
+ProgressState& GetState() {
+  static ProgressState state;
+  return state;
+}
+
+void PrintLine(const ProgressState& s, bool final_line) {
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - s.started).count();
+  const double rate = elapsed > 0.0 ? static_cast<double>(s.trials) / elapsed : 0.0;
+  if (final_line) {
+    std::fprintf(stderr,
+                 "[progress] %s: done, %ld/%ld units, %ld trials in %.1fs "
+                 "(%.1f trials/s)\n",
+                 s.label, s.done_units, s.total_units, s.trials, elapsed, rate);
+    return;
+  }
+  const long remaining = s.total_units - s.done_units;
+  const double eta = s.ewma_unit_seconds * static_cast<double>(remaining);
+  std::fprintf(stderr,
+               "[progress] %s: %ld/%ld units, %ld trials, %.1f trials/s, "
+               "ETA %.1fs\n",
+               s.label, s.done_units, s.total_units, s.trials, rate, eta);
+}
+
+}  // namespace
+
+void EnableProgress() {
+  detail::g_progress_enabled.store(true, std::memory_order_relaxed);
+}
+
+void ProgressBegin(const char* label, long total_units) {
+  if (!ProgressEnabled()) return;
+  ProgressState& s = GetState();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.label = label;
+  s.total_units = total_units;
+  s.done_units = 0;
+  s.trials = 0;
+  s.started = Clock::now();
+  s.last_unit = s.started;
+  s.last_print = s.started;
+  s.ewma_unit_seconds = 0.0;
+  s.active = true;
+}
+
+void ProgressUnitDone(long trials) {
+  if (!ProgressEnabled()) return;
+  ProgressState& s = GetState();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.active) return;
+  const Clock::time_point now = Clock::now();
+  const double interval = std::chrono::duration<double>(now - s.last_unit).count();
+  s.last_unit = now;
+  ++s.done_units;
+  s.trials += trials;
+  s.ewma_unit_seconds = s.ewma_unit_seconds == 0.0
+                            ? interval
+                            : kEwmaAlpha * interval +
+                                  (1.0 - kEwmaAlpha) * s.ewma_unit_seconds;
+  if (std::chrono::duration<double>(now - s.last_print).count() >=
+      kHeartbeatSeconds) {
+    s.last_print = now;
+    PrintLine(s, /*final_line=*/false);
+  }
+}
+
+void ProgressEnd() {
+  if (!ProgressEnabled()) return;
+  ProgressState& s = GetState();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.active) return;
+  s.active = false;
+  PrintLine(s, /*final_line=*/true);
+}
+
+}  // namespace robustify::telemetry
+
+#endif  // ROBUSTIFY_TELEMETRY_ENABLED

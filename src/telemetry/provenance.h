@@ -1,0 +1,26 @@
+// Build provenance: who built this binary, from what, and how.
+//
+// Every published number (perf baseline, counter snapshot, campaign CSV)
+// should be attributable to the exact source revision and compiler
+// configuration that produced it.  The CMake configure step captures the
+// git SHA, dirty state, compiler id/version, and the effective CXX flags
+// into a generated provenance.cpp (src/telemetry/provenance.cpp.in), and
+// perf reports plus --metrics JSON embed the block verbatim.  Building
+// outside git yields "unknown" fields rather than a configure failure.
+#pragma once
+
+namespace robustify::telemetry {
+
+struct BuildProvenance {
+  const char* git_sha;     // full commit hash, or "unknown"
+  const char* git_status;  // "clean", "dirty", or "unknown"
+  const char* compiler;    // e.g. "GNU 12.2.0"
+  const char* cxx_flags;   // global flags + build-type flags, as configured
+  const char* build_type;  // CMAKE_BUILD_TYPE
+};
+
+// The values baked in at configure time (always available; independent of
+// the ROBUSTIFY_TELEMETRY compile gate).
+const BuildProvenance& Provenance();
+
+}  // namespace robustify::telemetry

@@ -1,0 +1,225 @@
+#include "telemetry/trace.h"
+
+#if ROBUSTIFY_TELEMETRY_ENABLED
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace robustify::telemetry {
+
+namespace detail {
+
+std::atomic<bool> g_tracing{false};
+
+namespace {
+
+// 32768 events * 24 bytes = 768 KiB per traced thread; old events are
+// overwritten once the window fills (flight-recorder semantics).
+constexpr std::uint32_t kRingCapacity = 1u << 15;
+
+// Retired rings (from exited pool workers) are bounded globally so a long
+// test run under ROBUSTIFY_TRACE=1, which creates thousands of short-lived
+// workers, cannot accumulate unbounded memory.
+constexpr std::uint64_t kMaxRetiredEvents = 1u << 18;
+
+struct TraceEvent {
+  const char* name;
+  std::int64_t ts_ns;  // steady-clock ns since the trace clock anchor
+  char phase;          // 'B', 'E', or 'i'
+};
+
+struct TraceRing {
+  explicit TraceRing(std::uint32_t tid_)
+      : tid(tid_), events(new TraceEvent[kRingCapacity]) {}
+
+  void Append(const char* name, char phase, std::int64_t ts_ns) {
+    events[head] = TraceEvent{name, ts_ns, phase};
+    head = (head + 1) & (kRingCapacity - 1);
+    if (count < kRingCapacity) {
+      ++count;
+    } else {
+      ++dropped;
+    }
+  }
+
+  std::uint32_t tid;
+  std::uint32_t head = 0;   // next write slot
+  std::uint32_t count = 0;  // valid events (<= capacity)
+  std::uint64_t dropped = 0;
+  std::unique_ptr<TraceEvent[]> events;
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<TraceRing*> live;
+  std::vector<std::unique_ptr<TraceRing>> retired;
+  std::uint64_t retired_events = 0;
+  std::uint32_t next_tid = 1;
+};
+
+TraceRegistry& GetTraceRegistry() {
+  static TraceRegistry registry;
+  return registry;
+}
+
+// One clock anchor per process: timestamps are positive and shared across
+// threads (steady_clock, so per-tid monotonicity is structural).
+std::int64_t NowNs() {
+  static const std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - anchor)
+      .count();
+}
+
+// Owns the thread's ring while the thread lives; hands it to the retired
+// list on exit so its events survive pool teardown.
+struct RingHolder {
+  TraceRing* ring = nullptr;
+  ~RingHolder() {
+    if (ring == nullptr) return;
+    TraceRegistry& registry = GetTraceRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (std::size_t i = 0; i < registry.live.size(); ++i) {
+      if (registry.live[i] == ring) {
+        registry.live.erase(registry.live.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    registry.retired_events += ring->count;
+    registry.retired.emplace_back(ring);
+    // Drop the oldest retired rings once over budget: flight recorder.
+    while (registry.retired_events > kMaxRetiredEvents &&
+           registry.retired.size() > 1) {
+      registry.retired_events -= registry.retired.front()->count;
+      registry.retired.erase(registry.retired.begin());
+    }
+  }
+};
+
+thread_local RingHolder tls_ring;
+
+// Honor ROBUSTIFY_TRACE=1 without any call-site wiring: force-enables
+// collection for the whole process (the CI telemetry leg runs the entire
+// test suite this way).
+struct EnvTraceInit {
+  EnvTraceInit() {
+    const char* env = std::getenv("ROBUSTIFY_TRACE");
+    if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+      g_tracing.store(true, std::memory_order_relaxed);
+    }
+  }
+};
+EnvTraceInit env_trace_init;
+
+}  // namespace
+
+void EmitEvent(const char* name, char phase) {
+  TraceRing* ring = tls_ring.ring;
+  if (ring == nullptr) {
+    TraceRegistry& registry = GetTraceRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    ring = new TraceRing(registry.next_tid++);
+    registry.live.push_back(ring);
+    tls_ring.ring = ring;
+  }
+  ring->Append(name, phase, NowNs());
+}
+
+}  // namespace detail
+
+void StartTracing() {
+  detail::g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void StopTracing() {
+  detail::g_tracing.store(false, std::memory_order_relaxed);
+}
+
+bool WriteTrace(const std::string& path) {
+  StopTracing();
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+
+  detail::TraceRegistry& registry = detail::GetTraceRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+
+  std::fputs("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n", out);
+  std::fputs(
+      "{\"name\": \"process_name\", \"ph\": \"M\", \"ts\": 0, \"pid\": 1, "
+      "\"tid\": 0, \"args\": {\"name\": \"robustify\"}}",
+      out);
+
+  // Per-ring repair pass for what ring overwrite can tear: an orphan E
+  // whose B was overwritten is dropped, and any span still open at the end
+  // is closed at the ring's final timestamp — so the output always carries
+  // balanced B/E pairs per tid, which tools/trace_validate.py enforces.
+  std::vector<const char*> stack;
+  const auto emit_ring = [&](const detail::TraceRing& ring) {
+    const std::uint32_t capacity_mask = detail::kRingCapacity - 1;
+    const std::uint32_t oldest = ring.count < detail::kRingCapacity ? 0 : ring.head;
+    stack.clear();
+    std::int64_t last_ts = 0;
+    for (std::uint32_t i = 0; i < ring.count; ++i) {
+      const auto& e = ring.events[(oldest + i) & capacity_mask];
+      last_ts = e.ts_ns;
+      if (e.phase == 'E') {
+        if (stack.empty()) continue;  // its B was overwritten: drop
+        stack.pop_back();
+      } else if (e.phase == 'B') {
+        stack.push_back(e.name);
+      }
+      const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+      std::fprintf(out,
+                   ",\n{\"name\": \"%s\", \"ph\": \"%c\", \"ts\": %.3f, "
+                   "\"pid\": 1, \"tid\": %u%s}",
+                   e.name, e.phase, ts_us, ring.tid,
+                   e.phase == 'i' ? ", \"s\": \"t\"" : "");
+    }
+    // Close spans the ring saw begin but never end (an unfinished run or a
+    // SpanScope still alive on another frame): balance is a validator
+    // invariant, truncation is not.
+    const double close_us = static_cast<double>(last_ts) / 1000.0;
+    while (!stack.empty()) {
+      std::fprintf(out,
+                   ",\n{\"name\": \"%s\", \"ph\": \"E\", \"ts\": %.3f, "
+                   "\"pid\": 1, \"tid\": %u}",
+                   stack.back(), close_us, ring.tid);
+      stack.pop_back();
+    }
+    if (ring.dropped > 0) {
+      std::fprintf(out,
+                   ",\n{\"name\": \"trace.dropped\", \"ph\": \"M\", \"ts\": 0, "
+                   "\"pid\": 1, \"tid\": %u, \"args\": {\"events\": %llu}}",
+                   ring.tid, static_cast<unsigned long long>(ring.dropped));
+    }
+  };
+
+  for (const std::unique_ptr<detail::TraceRing>& ring : registry.retired) {
+    emit_ring(*ring);
+  }
+  for (const detail::TraceRing* ring : registry.live) {
+    emit_ring(*ring);
+  }
+
+  std::fputs("\n]}\n", out);
+  const bool ok = std::fclose(out) == 0;
+  return ok;
+}
+
+}  // namespace robustify::telemetry
+
+#else  // compiled out
+
+namespace robustify::telemetry {
+
+bool WriteTrace(const std::string&) { return false; }
+
+}  // namespace robustify::telemetry
+
+#endif  // ROBUSTIFY_TELEMETRY_ENABLED

@@ -1,0 +1,291 @@
+// Flight-recorder telemetry: the observe-only contract and the registry.
+//
+// The load-bearing guarantees:
+//   * sweep and campaign CSVs are byte-identical with counters disabled,
+//     enabled, and with full tracing on, at any thread count — telemetry
+//     never consumes simulation RNG or reorders a fault stream;
+//   * counter totals are a pure function of the work performed, so they are
+//     thread-count independent (shards merge losslessly across the pool
+//     workers' exits);
+//   * the injector counters agree exactly with the ContextStats that feed
+//     the published CSVs;
+//   * WriteTrace emits well-formed Chrome trace JSON (balanced B/E pairs —
+//     tools/trace_validate.py enforces the same invariants in CI).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/configs.h"
+#include "apps/sort_app.h"
+#include "campaign/runner.h"
+#include "campaign/scenarios.h"
+#include "campaign/spec.h"
+#include "core/fault_env.h"
+#include "harness/csv.h"
+#include "harness/parallel.h"
+#include "harness/sweep.h"
+#include "linalg/scalar.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace {
+
+using namespace robustify;
+
+harness::TrialFn SortTrial() {
+  return [](const core::FaultEnvironment& base) {
+    core::FaultEnvironment env = base;
+    std::mt19937_64 rng(env.seed * 7919);
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    std::vector<double> input(4);
+    for (double& v : input) v = dist(rng);
+    apps::LpSolveConfig config = apps::SortSgdAsSqs();
+    config.sgd.iterations = 150;
+    harness::TrialOutcome out;
+    const apps::RobustSortResult r = core::WithFaultyFpu(
+        env, [&] { return apps::RobustSort<faulty::Real>(input, config); },
+        &out.fpu_stats);
+    out.success = r.valid && apps::IsSortedCopyOf(r.output, input);
+    out.metric = static_cast<double>(out.fpu_stats.faults_injected);
+    return out;
+  };
+}
+
+harness::SweepConfig SmallSweep(int threads) {
+  harness::SweepConfig config;
+  config.fault_rates = {0.0, 0.05};
+  config.trials = 4;
+  config.base_seed = 77;
+  config.threads = threads;
+  return config;
+}
+
+std::string CsvBytes(const std::vector<harness::Series>& series,
+                     const std::string& tag) {
+  const std::string path =
+      ::testing::TempDir() + "/robustify_telemetry_" + tag + ".csv";
+  harness::WriteSweepCsv(path, series);
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(path.c_str());
+  return buffer.str();
+}
+
+std::string SweepCsvBytes(int threads, const std::string& tag) {
+  const auto series = harness::RunFaultRateSweep(
+      SmallSweep(threads), {{"SGD+AS,SQS", SortTrial()}});
+  return CsvBytes(series, tag);
+}
+
+// Small adaptive campaign (the cli-smoke shape): fig6_6 on a reduced axis.
+std::string CampaignCsvBytes(int threads, const std::string& tag) {
+  campaign::CampaignSpec spec = campaign::RegistrySpec("fig6_6");
+  spec.fault_rates = {0.0, 1e-3};
+  spec.max_trials = 6;
+  spec.min_trials = 2;
+  spec.ci_half_width = 0.2;
+  const campaign::Scenario scenario = campaign::BuildScenario(spec);
+  campaign::RunnerOptions options;
+  options.threads = threads;
+  const campaign::CampaignResult result =
+      campaign::RunCampaign(spec, scenario, options);
+  return CsvBytes(result.series, tag);
+}
+
+// Telemetry must be observe-only: identical CSV bytes with counters off,
+// counters on, and full span tracing, across thread counts.
+TEST(Telemetry, SweepCsvInvariantUnderTelemetryStateAndThreads) {
+  telemetry::SetCountersEnabled(false);
+  const std::string off_t1 = SweepCsvBytes(1, "off_t1");
+  telemetry::SetCountersEnabled(true);
+  const std::string on_t1 = SweepCsvBytes(1, "on_t1");
+  const std::string on_t2 = SweepCsvBytes(2, "on_t2");
+  const std::string on_t8 = SweepCsvBytes(8, "on_t8");
+#if ROBUSTIFY_TELEMETRY_ENABLED
+  telemetry::StartTracing();
+  const std::string traced_t8 = SweepCsvBytes(8, "traced_t8");
+  telemetry::StopTracing();
+  EXPECT_EQ(off_t1, traced_t8);
+#endif
+  EXPECT_FALSE(off_t1.empty());
+  EXPECT_EQ(off_t1, on_t1);
+  EXPECT_EQ(off_t1, on_t2);
+  EXPECT_EQ(off_t1, on_t8);
+}
+
+TEST(Telemetry, CampaignCsvInvariantUnderTelemetryStateAndThreads) {
+  telemetry::SetCountersEnabled(false);
+  const std::string off_t1 = CampaignCsvBytes(1, "c_off_t1");
+  telemetry::SetCountersEnabled(true);
+  const std::string on_t1 = CampaignCsvBytes(1, "c_on_t1");
+  const std::string on_t8 = CampaignCsvBytes(8, "c_on_t8");
+#if ROBUSTIFY_TELEMETRY_ENABLED
+  telemetry::StartTracing();
+  const std::string traced_t8 = CampaignCsvBytes(8, "c_traced_t8");
+  telemetry::StopTracing();
+  EXPECT_EQ(off_t1, traced_t8);
+#endif
+  EXPECT_FALSE(off_t1.empty());
+  EXPECT_EQ(off_t1, on_t1);
+  EXPECT_EQ(off_t1, on_t8);
+}
+
+#if ROBUSTIFY_TELEMETRY_ENABLED
+
+// Counter totals must not depend on how the grid was fanned out: the
+// per-thread shards (including those of exited pool workers) merge to the
+// same totals for 1 and 8 threads.
+TEST(Telemetry, CounterTotalsThreadCountInvariant) {
+  telemetry::SetCountersEnabled(true);
+  telemetry::ResetCounters();
+  SweepCsvBytes(1, "inv_t1");
+  const telemetry::CounterSnapshot one = telemetry::SnapshotCounters();
+
+  telemetry::ResetCounters();
+  SweepCsvBytes(8, "inv_t8");
+  const telemetry::CounterSnapshot eight = telemetry::SnapshotCounters();
+
+  EXPECT_GT(one.value(telemetry::Counter::kInjectorScopes), 0u);
+  EXPECT_GT(one.value(telemetry::Counter::kInjectorFlops), 0u);
+  EXPECT_GT(one.value(telemetry::Counter::kSgdSolves), 0u);
+  for (int c = 0; c < telemetry::kNumCounters; ++c) {
+    EXPECT_EQ(one.counters[c], eight.counters[c])
+        << "counter " << telemetry::CounterName(static_cast<telemetry::Counter>(c));
+  }
+  for (int h = 0; h < telemetry::kNumHistograms; ++h) {
+    for (int b = 0; b < telemetry::kHistogramBuckets; ++b) {
+      EXPECT_EQ(one.histograms[h][b], eight.histograms[h][b])
+          << telemetry::HistogramName(static_cast<telemetry::Histogram>(h))
+          << " bucket " << b;
+    }
+  }
+}
+
+// The injector counters are fed from the same ContextStats that the CSVs
+// publish — they must agree exactly.
+TEST(Telemetry, InjectorCountersMatchContextStats) {
+  telemetry::SetCountersEnabled(true);
+  telemetry::ResetCounters();
+  core::FaultEnvironment env;
+  env.fault_rate = 0.01;
+  env.seed = 123;
+  faulty::ContextStats stats;
+  core::WithFaultyFpu(
+      env,
+      [] {
+        faulty::Real acc(0.0);
+        for (int i = 0; i < 50000; ++i) acc = acc + faulty::Real(1.0);
+        return linalg::AsDouble(acc);
+      },
+      &stats);
+  const telemetry::CounterSnapshot snap = telemetry::SnapshotCounters();
+  EXPECT_EQ(snap.value(telemetry::Counter::kInjectorScopes), 1u);
+  EXPECT_EQ(snap.value(telemetry::Counter::kInjectorFlops), stats.faulty_flops);
+  EXPECT_EQ(snap.value(telemetry::Counter::kInjectorFaults), stats.faults_injected);
+  EXPECT_GT(stats.faults_injected, 0u);
+  // Every sampled gap lands one clean-run observation; rate-0/rate-1 paths
+  // aside, faults and gap observations track each other 1:1 here.
+  EXPECT_EQ(snap.histogram_total(telemetry::Histogram::kInjectorCleanRun),
+            stats.faults_injected);
+}
+
+TEST(Telemetry, HistogramBucketsAreLog2) {
+  telemetry::SetCountersEnabled(true);
+  telemetry::ResetCounters();
+  const auto h = telemetry::Histogram::kCampaignTrialsToStop;
+  telemetry::Observe(h, 0);    // bucket 0
+  telemetry::Observe(h, 1);    // bucket 1: [1, 2)
+  telemetry::Observe(h, 2);    // bucket 2: [2, 4)
+  telemetry::Observe(h, 3);    // bucket 2
+  telemetry::Observe(h, 4);    // bucket 3: [4, 8)
+  telemetry::Observe(h, 255);  // bucket 8: [128, 256)
+  telemetry::Observe(h, 256);  // bucket 9: [256, 512)
+  const telemetry::CounterSnapshot snap = telemetry::SnapshotCounters();
+  const int hi = static_cast<int>(h);
+  EXPECT_EQ(snap.histograms[hi][0], 1u);
+  EXPECT_EQ(snap.histograms[hi][1], 1u);
+  EXPECT_EQ(snap.histograms[hi][2], 2u);
+  EXPECT_EQ(snap.histograms[hi][3], 1u);
+  EXPECT_EQ(snap.histograms[hi][8], 1u);
+  EXPECT_EQ(snap.histograms[hi][9], 1u);
+  EXPECT_EQ(snap.histogram_total(h), 7u);
+  EXPECT_EQ(telemetry::HistogramBucketLowerBound(0), 0u);
+  EXPECT_EQ(telemetry::HistogramBucketLowerBound(1), 1u);
+  EXPECT_EQ(telemetry::HistogramBucketLowerBound(9), 256u);
+}
+
+// Shards of exited threads fold into the retired totals: counts made on
+// short-lived pool workers must survive the workers.
+TEST(Telemetry, RegistryMergesRetiredWorkerShards) {
+  telemetry::SetCountersEnabled(true);
+  telemetry::ResetCounters();
+  constexpr int kUnits = 64;
+  harness::ParallelFor(kUnits, 4, [](int) {
+    telemetry::Count(telemetry::Counter::kCampaignTrials, 3);
+  });
+  // The pool is created and joined inside ParallelFor, so every worker
+  // shard has retired by now.
+  const telemetry::CounterSnapshot snap = telemetry::SnapshotCounters();
+  EXPECT_EQ(snap.value(telemetry::Counter::kCampaignTrials),
+            static_cast<std::uint64_t>(kUnits) * 3u);
+}
+
+TEST(Telemetry, WriteTraceEmitsBalancedChromeJson) {
+  telemetry::SetCountersEnabled(true);
+  telemetry::StartTracing();
+  SweepCsvBytes(2, "trace");
+  const std::string path = ::testing::TempDir() + "/robustify_trace_test.json";
+  ASSERT_TRUE(telemetry::WriteTrace(path));
+  EXPECT_FALSE(telemetry::TracingActive());  // the writer stops collection
+
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(path.c_str());
+  const std::string json = buffer.str();
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"trial\""), std::string::npos);
+  EXPECT_NE(json.find("\"solve.sgd\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase\""), std::string::npos);
+
+  // Balanced B/E pairs: the writer's repair pass guarantees it even when a
+  // ring overwrote its oldest events.
+  std::size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = json.find("\"ph\": \"B\"", pos)) != std::string::npos) {
+    ++begins;
+    pos += 1;
+  }
+  pos = 0;
+  while ((pos = json.find("\"ph\": \"E\"", pos)) != std::string::npos) {
+    ++ends;
+    pos += 1;
+  }
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+}
+
+#else  // telemetry compiled out: the API must still compile and no-op
+
+TEST(Telemetry, CompiledOutApiIsInert) {
+  telemetry::Count(telemetry::Counter::kInjectorFaults, 5);
+  telemetry::Observe(telemetry::Histogram::kInjectorCleanRun, 42);
+  telemetry::SpanScope span("trial");
+  EXPECT_FALSE(telemetry::TracingActive());
+  EXPECT_FALSE(telemetry::CountersEnabled());
+  const telemetry::CounterSnapshot snap = telemetry::SnapshotCounters();
+  for (int c = 0; c < telemetry::kNumCounters; ++c) {
+    EXPECT_EQ(snap.counters[c], 0u);
+  }
+}
+
+#endif  // ROBUSTIFY_TELEMETRY_ENABLED
+
+}  // namespace

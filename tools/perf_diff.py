@@ -14,8 +14,16 @@ output is a comparison table to read, not a gate.  By default the exit code
 is always 0 (warn-only, for CI); --strict exits 1 when any same-filename
 baseline regresses by more than --threshold.
 
+Reports may also carry a "counters" map (the telemetry snapshot: faults,
+flops, trials, ...).  Counter values are exact uint64 work accounting, so
+same-filename pairs print any mismatched counter, and --exact-counters turns
+a mismatch into exit 1.  Counters depend on libm (the gap sampler's log), so
+exact comparison is only sound between runs on the same machine and build —
+CI compares two fresh same-host runs, not a committed baseline.
+
 Usage:
   perf_diff.py --baseline perf/ --fresh build/ [--threshold 0.25] [--strict]
+              [--exact-counters]
 """
 
 import argparse
@@ -52,6 +60,9 @@ def main():
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when a same-filename baseline regresses past "
                              "the threshold (default: warn-only)")
+    parser.add_argument("--exact-counters", action="store_true",
+                        help="exit 1 when a same-filename pair's telemetry "
+                             "counters differ (same-machine runs only)")
     args = parser.parse_args()
 
     baselines = load_reports(args.baseline)
@@ -61,6 +72,7 @@ def main():
         return 0
 
     regressions = []
+    counter_mismatches = []
     for fresh_name, fresh_report in fresh.items():
         bench = fresh_report.get("bench", "?")
         matches = {name: rep for name, rep in baselines.items()
@@ -86,6 +98,24 @@ def main():
                     regressions.append(
                         f"{fresh_name} [{section.get('name')}]: "
                         f"{wall:.3f}s vs {base_wall:.3f}s baseline")
+            if same_file:
+                fresh_counters = fresh_report.get("counters") or {}
+                base_counters = base_report.get("counters") or {}
+                if fresh_counters or base_counters:
+                    for key in sorted(set(fresh_counters) | set(base_counters)):
+                        a, b = fresh_counters.get(key), base_counters.get(key)
+                        if a != b:
+                            counter_mismatches.append(
+                                f"{fresh_name} [{key}]: {a} vs {b} baseline")
+
+    if counter_mismatches:
+        print("\nperf_diff: counter mismatches (exact work accounting differs):")
+        for m in counter_mismatches:
+            print(f"  {m}")
+        if args.exact_counters:
+            return 1
+        print("perf_diff: counters differ across machines/libm builds; pass "
+              "--exact-counters only for same-host pairs.")
 
     if regressions:
         print("\nperf_diff: notable wall-time regressions "

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Flight-recorder smoke test (wired into ctest as `trace_validate`):
+# run a small traced campaign through robustify_cli, then check that
+#   1. the Chrome trace JSON passes tools/trace_validate.py,
+#   2. the --metrics JSON carries provenance and injector/campaign counters.
+#
+# Usage: trace_ci_test.sh <path-to-robustify_cli>
+# Env:   ROBUSTIFY_PYTHON  python interpreter (default: python3)
+#        ROBUSTIFY_SRC_DIR repo root holding tools/ (default: script's ../)
+set -euo pipefail
+
+CLI="${1:?usage: trace_ci_test.sh <path-to-robustify_cli>}"
+PYTHON="${ROBUSTIFY_PYTHON:-python3}"
+SRC_DIR="${ROBUSTIFY_SRC_DIR:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+WORK_DIR="$(mktemp -d trace_ci.XXXXXX)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+TRACE="$WORK_DIR/trace.json"
+METRICS="$WORK_DIR/metrics.json"
+
+"$CLI" run fig6_6 --rates=0,1e-3 --budget=6 --ci=0.2 \
+  --journal="$WORK_DIR/trace_ci.journal" \
+  --csv="$WORK_DIR/trace_ci.csv" \
+  --json="$WORK_DIR/BENCH_trace_ci.json" \
+  --trace="$TRACE" --metrics="$METRICS"
+
+test -s "$TRACE" || { echo "FAIL: no trace written at $TRACE" >&2; exit 1; }
+test -s "$METRICS" || { echo "FAIL: no metrics written at $METRICS" >&2; exit 1; }
+
+"$PYTHON" "$SRC_DIR/tools/trace_validate.py" "$TRACE"
+
+"$PYTHON" - "$METRICS" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+provenance = doc.get("provenance")
+assert isinstance(provenance, dict), "metrics JSON missing provenance block"
+for key in ("git_sha", "compiler", "cxx_flags", "build_type"):
+    assert provenance.get(key), "provenance missing %s" % key
+
+counters = doc.get("counters")
+assert isinstance(counters, dict), "metrics JSON missing counters map"
+for name in ("injector.scopes", "injector.flops", "campaign.cells",
+             "campaign.trials", "cgls.solves"):
+    assert counters.get(name, 0) > 0, "counter %s missing or zero" % name
+
+print("metrics OK: %d counters, git %s" % (len(counters),
+                                           provenance["git_sha"][:12]))
+EOF
+
+echo "trace_ci_test: OK"
