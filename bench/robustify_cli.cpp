@@ -18,6 +18,12 @@
 //   --rates=a,b,c  override the fault-rate axis
 //   --series=NAME  restrict to one series (repeatable)
 //   --seed=N       override the base seed
+//   --model=M      fault model: transient|stuck|burst|intermittent
+//   --op-classes=C comma-joined arith|cmp|mem subset that can fault
+//   --stuck-mean=D / --burst-width=K / --window-mean=W / --window-rate=P
+//                  model parameters (faulty/fault_model.h)
+//   --guard-flops=N / --guard-iters=N / --guard-bailout
+//                  guarded executor budgets (adds outcome columns to the CSV)
 //   --threads=N    worker threads (default ROBUSTIFY_THREADS, else hardware)
 //   --journal=PATH checkpoint journal (default <name>.journal; run truncates,
 //                  resume requires it)
@@ -39,6 +45,7 @@
 #include "campaign/runner.h"
 #include "campaign/scenarios.h"
 #include "campaign/spec.h"
+#include "faulty/fault_model.h"
 #include "harness/csv.h"
 #include "harness/parallel.h"
 #include "harness/perf_report.h"
@@ -58,6 +65,9 @@ int Usage() {
       << "       robustify_cli {run,resume} <fig|spec-file> [--ci=H] [--budget=N]\n"
       << "           [--min-trials=N] [--batch=N] [--fixed] [--trials=N]\n"
       << "           [--rates=a,b,c] [--series=NAME]... [--seed=N] [--threads=N]\n"
+      << "           [--model=M] [--op-classes=C] [--stuck-mean=D] [--burst-width=K]\n"
+      << "           [--window-mean=W] [--window-rate=P] [--guard-flops=N]\n"
+      << "           [--guard-iters=N] [--guard-bailout]\n"
       << "           [--journal=PATH] [--csv=PATH] [--json=PATH]\n"
       << "           [--trace[=PATH]] [--metrics=PATH] [--progress]\n";
   return 2;
@@ -105,7 +115,17 @@ int RunList() {
     std::cout << "\n    trials: " << spec.fixed_trials
               << " fixed / budget " << spec.max_trials << ", ci "
               << spec.ci_half_width << ", seed " << spec.base_seed
-              << "\n    series:";
+              << "\n    model: "
+              << (spec.model.temporal == faulty::Temporal::kAuto
+                      ? "transient (auto)"
+                      : faulty::TemporalName(spec.model.temporal))
+              << ", classes " << faulty::OpClassesName(spec.model.op_classes);
+    if (spec.guard.Active()) {
+      std::cout << ", guard flops=" << spec.guard.max_flops
+                << " iters=" << spec.guard.max_iterations
+                << " bailout=" << (spec.guard.nonfinite_bailout ? 1 : 0);
+    }
+    std::cout << "\n    series:";
     for (const std::string& s : campaign::ScenarioSeriesNames(spec.app)) {
       std::cout << " [" << s << "]";
     }
@@ -160,6 +180,36 @@ int RunCampaignCommand(bool resume, const std::string& target,
     } else if (arg.rfind("--seed=", 0) == 0) {
       cli.spec.base_seed =
           static_cast<std::uint64_t>(ParseLongFlag("--seed", arg.substr(7)));
+    } else if (arg.rfind("--model=", 0) == 0) {
+      const faulty::Temporal t = faulty::ParseTemporal(arg.substr(8));
+      if (t == faulty::Temporal::kAuto) Die("unknown --model: " + arg.substr(8));
+      cli.spec.model.temporal = t;
+    } else if (arg.rfind("--op-classes=", 0) == 0) {
+      try {
+        cli.spec.model.op_classes = faulty::ParseOpClasses(arg.substr(13));
+      } catch (const std::exception& e) {
+        Die(std::string("malformed --op-classes: ") + e.what());
+      }
+    } else if (arg.rfind("--stuck-mean=", 0) == 0) {
+      cli.spec.model.stuck_mean_ops =
+          ParseDoubleFlag("--stuck-mean", arg.substr(13));
+    } else if (arg.rfind("--burst-width=", 0) == 0) {
+      cli.spec.model.burst_width_max =
+          static_cast<int>(ParseLongFlag("--burst-width", arg.substr(14)));
+    } else if (arg.rfind("--window-mean=", 0) == 0) {
+      cli.spec.model.window_mean_ops =
+          ParseDoubleFlag("--window-mean", arg.substr(14));
+    } else if (arg.rfind("--window-rate=", 0) == 0) {
+      cli.spec.model.window_rate =
+          ParseDoubleFlag("--window-rate", arg.substr(14));
+    } else if (arg.rfind("--guard-flops=", 0) == 0) {
+      cli.spec.guard.max_flops = static_cast<std::uint64_t>(
+          ParseLongFlag("--guard-flops", arg.substr(14)));
+    } else if (arg.rfind("--guard-iters=", 0) == 0) {
+      cli.spec.guard.max_iterations =
+          static_cast<int>(ParseLongFlag("--guard-iters", arg.substr(14)));
+    } else if (arg == "--guard-bailout") {
+      cli.spec.guard.nonfinite_bailout = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       cli.runner.threads = static_cast<int>(ParseLongFlag("--threads", arg.substr(10)));
     } else if (arg.rfind("--journal=", 0) == 0) {
@@ -244,7 +294,7 @@ int RunCampaignCommand(bool resume, const std::string& target,
               wall > 0.0 ? result.faulty_flops / wall / 1e6 : 0.0);
 
   try {
-    harness::WriteSweepCsv(cli.csv_path, result.series);
+    harness::WriteSweepCsv(cli.csv_path, result.series, cli.spec.guard.Active());
     std::cout << "[csv written: " << cli.csv_path << "]\n";
   } catch (const std::exception& e) {
     std::cout << "[csv skipped: " << e.what() << "]\n";

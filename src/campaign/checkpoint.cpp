@@ -16,12 +16,15 @@ namespace {
 constexpr char kHeaderTag[] = "robustify-campaign v1 fingerprint ";
 
 // One record per line.  %a prints the metric's exact bits ("0x1.8p+1",
-// "inf", "nan"); strtod parses all of them back exactly.
+// "inf", "nan"); strtod parses all of them back exactly.  The trailing
+// verdict field postdates the guarded executor; ParseRecord accepts lines
+// without it.
 std::string FormatRecord(const TrialRecord& r) {
   char buf[128];
-  std::snprintf(buf, sizeof(buf), "t %d %d %d %d %a %" PRIu64 " %" PRIu64 "\n",
-                r.series, r.rate, r.trial, r.success ? 1 : 0, r.metric,
-                r.faulty_flops, r.faults_injected);
+  std::snprintf(buf, sizeof(buf),
+                "t %d %d %d %d %a %" PRIu64 " %" PRIu64 " %d\n", r.series,
+                r.rate, r.trial, r.success ? 1 : 0, r.metric, r.faulty_flops,
+                r.faults_injected, r.verdict);
   return buf;
 }
 
@@ -58,6 +61,14 @@ bool ParseRecord(const std::string& line, TrialRecord* out) {
   };
   std::uint64_t flops = 0, faults = 0;
   if (!parse_u64(&flops) || !parse_u64(&faults)) return false;
+  // Optional trailing verdict (journals predating the guarded executor lack
+  // it; derive the two-way verdict from the success flag for those).
+  long verdict = success == 1 ? 0 : 1;
+  if (*p == ' ') {
+    if (!parse_long(&verdict)) return false;
+    if (verdict < 0 || verdict > 3) return false;
+    if ((verdict == 0) != (success == 1)) return false;
+  }
   if (*p != '\0') return false;
   out->series = static_cast<int>(series);
   out->rate = static_cast<int>(rate);
@@ -66,6 +77,7 @@ bool ParseRecord(const std::string& line, TrialRecord* out) {
   out->metric = metric;
   out->faulty_flops = flops;
   out->faults_injected = faults;
+  out->verdict = static_cast<int>(verdict);
   return true;
 }
 

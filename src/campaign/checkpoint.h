@@ -32,6 +32,10 @@ struct TrialRecord {
   double metric = 0.0;
   std::uint64_t faulty_flops = 0;
   std::uint64_t faults_injected = 0;
+  // core::TrialVerdict as an int.  Journals written before the guarded
+  // executor carry seven fields per line; Load() derives the verdict from
+  // the success flag for those, so old journals resume cleanly.
+  int verdict = 0;
 };
 
 class CampaignJournal {

@@ -22,6 +22,7 @@ harness::TrialOutcome ToOutcome(const TrialRecord& r) {
   out.metric = r.metric;
   out.fpu_stats.faulty_flops = r.faulty_flops;
   out.fpu_stats.faults_injected = r.faults_injected;
+  out.verdict = static_cast<core::TrialVerdict>(r.verdict);
   return out;
 }
 
@@ -35,6 +36,7 @@ TrialRecord ToRecord(const harness::TrialOutcome& out, int series, int rate,
   r.metric = out.metric;
   r.faulty_flops = out.fpu_stats.faulty_flops;
   r.faults_injected = out.fpu_stats.faults_injected;
+  r.verdict = static_cast<int>(out.verdict);
   return r;
 }
 
@@ -143,6 +145,8 @@ CampaignResult RunCampaign(const CampaignSpec& spec, const Scenario& scenario,
     env.fault_rate = spec.fault_rates[static_cast<std::size_t>(r)];
     env.seed = spec.base_seed;
     env.bit_model = spec.bit_model;
+    env.model = spec.model;
+    env.guard = spec.guard;
     const harness::TrialFn& fn = scenario.series[static_cast<std::size_t>(s)].fn;
 
     std::vector<harness::TrialOutcome> round(static_cast<std::size_t>(batch));

@@ -123,6 +123,39 @@ CampaignSpec ParseSpec(std::istream& is) {
       spec.base_seed = static_cast<std::uint64_t>(ParseLong(line_no, key, value));
     } else if (key == "bit_model") {
       spec.bit_model = ParseBitModel(line_no, value);
+    } else if (key == "model") {
+      const faulty::Temporal temporal = faulty::ParseTemporal(value);
+      if (temporal == faulty::Temporal::kAuto) {
+        Fail(line_no, "unknown model '" + value +
+                          "' (transient|stuck|burst|intermittent)");
+      }
+      spec.model.temporal = temporal;
+    } else if (key == "op_classes") {
+      try {
+        spec.model.op_classes = faulty::ParseOpClasses(value);
+      } catch (const std::runtime_error& e) {
+        Fail(line_no, e.what());
+      }
+    } else if (key == "stuck_mean") {
+      spec.model.stuck_mean_ops = ParseDouble(line_no, key, value);
+    } else if (key == "burst_width") {
+      spec.model.burst_width_max = static_cast<int>(ParseLong(line_no, key, value));
+    } else if (key == "window_mean") {
+      spec.model.window_mean_ops = ParseDouble(line_no, key, value);
+    } else if (key == "window_rate") {
+      spec.model.window_rate = ParseDouble(line_no, key, value);
+    } else if (key == "guard_flops") {
+      spec.guard.max_flops = static_cast<std::uint64_t>(ParseLong(line_no, key, value));
+    } else if (key == "guard_iters") {
+      spec.guard.max_iterations = static_cast<int>(ParseLong(line_no, key, value));
+    } else if (key == "guard_bailout") {
+      if (value == "1" || value == "true") {
+        spec.guard.nonfinite_bailout = true;
+      } else if (value == "0" || value == "false") {
+        spec.guard.nonfinite_bailout = false;
+      } else {
+        Fail(line_no, "guard_bailout must be 0|1|true|false, got '" + value + "'");
+      }
     } else {
       Fail(line_no, "unknown key '" + key + "'");
     }
@@ -139,6 +172,21 @@ CampaignSpec ParseSpec(std::istream& is) {
   }
   if (!(spec.ci_half_width > 0.0)) {
     throw std::runtime_error("spec: ci must be > 0");
+  }
+  if (!(spec.model.stuck_mean_ops >= 1.0)) {
+    throw std::runtime_error("spec: stuck_mean must be >= 1");
+  }
+  if (spec.model.burst_width_max < 1 || spec.model.burst_width_max > 64) {
+    throw std::runtime_error("spec: burst_width must be in [1, 64]");
+  }
+  if (!(spec.model.window_mean_ops >= 1.0)) {
+    throw std::runtime_error("spec: window_mean must be >= 1");
+  }
+  if (!(spec.model.window_rate >= 0.0 && spec.model.window_rate <= 1.0)) {
+    throw std::runtime_error("spec: window_rate must be in [0, 1]");
+  }
+  if (spec.guard.max_iterations < 0) {
+    throw std::runtime_error("spec: guard_iters must be >= 0");
   }
   return spec;
 }
@@ -171,6 +219,35 @@ std::string FormatSpec(const CampaignSpec& spec) {
   os << "ci = " << FormatRate(spec.ci_half_width) << "\n";
   os << "seed = " << spec.base_seed << "\n";
   os << "bit_model = " << BitModelName(spec.bit_model) << "\n";
+  // Model and guard keys are emitted only when non-default: pre-model specs
+  // keep their historical canonical form, so their fingerprints — and every
+  // journal recorded against them — stay valid.
+  const faulty::FaultModel defaults;
+  if (spec.model.temporal != faulty::Temporal::kAuto) {
+    os << "model = " << faulty::TemporalName(spec.model.temporal) << "\n";
+  }
+  if (spec.model.op_classes != faulty::kOpClassDefault) {
+    os << "op_classes = " << faulty::OpClassesName(spec.model.op_classes) << "\n";
+  }
+  if (spec.model.stuck_mean_ops != defaults.stuck_mean_ops) {
+    os << "stuck_mean = " << FormatRate(spec.model.stuck_mean_ops) << "\n";
+  }
+  if (spec.model.burst_width_max != defaults.burst_width_max) {
+    os << "burst_width = " << spec.model.burst_width_max << "\n";
+  }
+  if (spec.model.window_mean_ops != defaults.window_mean_ops) {
+    os << "window_mean = " << FormatRate(spec.model.window_mean_ops) << "\n";
+  }
+  if (spec.model.window_rate != defaults.window_rate) {
+    os << "window_rate = " << FormatRate(spec.model.window_rate) << "\n";
+  }
+  if (spec.guard.max_flops != 0) {
+    os << "guard_flops = " << spec.guard.max_flops << "\n";
+  }
+  if (spec.guard.max_iterations != 0) {
+    os << "guard_iters = " << spec.guard.max_iterations << "\n";
+  }
+  if (spec.guard.nonfinite_bailout) os << "guard_bailout = 1\n";
   return os.str();
 }
 
@@ -263,6 +340,8 @@ harness::SweepConfig ToSweepConfig(const CampaignSpec& spec) {
   sweep.trials = spec.fixed_trials;
   sweep.base_seed = spec.base_seed;
   sweep.bit_model = spec.bit_model;
+  sweep.model = spec.model;
+  sweep.guard = spec.guard;
   return sweep;
 }
 

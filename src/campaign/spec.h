@@ -17,7 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "core/guard.h"
 #include "faulty/bit_distribution.h"
+#include "faulty/fault_model.h"
 #include "harness/sweep.h"
 
 namespace robustify::campaign {
@@ -51,6 +53,20 @@ struct CampaignSpec {
 
   std::uint64_t base_seed = 1;
   faulty::BitModel bit_model = faulty::BitModel::kBimodal;
+
+  // Fault-model axis (faulty/fault_model.h): temporal behavior, op-class
+  // mask, and the per-model law parameters.  The default (kAuto temporal,
+  // arith+cmp classes) reproduces the historical transient injector; specs
+  // that set `model` pin the temporal behavior explicitly and are immune to
+  // the ROBUSTIFY_FAULT_MODEL override.
+  faulty::FaultModel model;
+
+  // Guarded trial executor (core/guard.h): per-trial flop/iteration budget
+  // caps and the non-finite bailout.  Inactive by default.  When any guard
+  // field is set, campaign and sweep CSVs gain the outcome-taxonomy columns
+  // (wrong/diverged/budget percentages) — schema is a pure function of the
+  // spec.
+  core::TrialGuard guard;
 };
 
 // ---- key=value spec files ---------------------------------------------------
@@ -61,7 +77,13 @@ struct CampaignSpec {
 // line (names contain commas, e.g. "SGD+AS,LS", so no list syntax).  Keys:
 //   name, app, rates (comma-separated), trials (fixed budget),
 //   budget (adaptive cap), min_trials, batch, ci (half-width fraction),
-//   seed, bit_model (bimodal|uniform|msb|lsb), series.
+//   seed, bit_model (bimodal|uniform|msb|lsb), series,
+//   model (transient|stuck|burst|intermittent),
+//   op_classes (comma-joined arith|cmp|mem subset),
+//   stuck_mean / burst_width / window_mean / window_rate (model params),
+//   guard_flops / guard_iters (budget caps), guard_bailout (0|1).
+// FormatSpec emits the model/guard keys only when they differ from the
+// defaults, so fingerprints of pre-model specs are unchanged.
 
 // Throws std::runtime_error with a line-numbered message on malformed input.
 CampaignSpec ParseSpec(std::istream& is);

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "core/guard.h"
 #include "faulty/bit_distribution.h"
 #include "faulty/block_engine.h"
 #include "faulty/fault_injector.h"
@@ -34,6 +35,16 @@ struct FaultEnvironment {
   // Per-fault RNG draw layout: kAuto defers to ROBUSTIFY_RNG, else split;
   // pin to kFused/kSplit for the statistical A/B tests.
   faulty::RngMode rng = faulty::RngMode::kAuto;
+  // What a scheduled fault does (temporal model + op-class mask).  The
+  // default — temporal kAuto, resolved here through ROBUSTIFY_FAULT_MODEL,
+  // else transient — reproduces the historical injector bit-for-bit; pin
+  // model.temporal explicitly to make a trial immune to the env override.
+  faulty::FaultModel model;
+  // Per-trial budget caps and divergence bailout (inactive by default —
+  // behaviorally invisible).  Armed by the trial executor
+  // (harness::RunSingleTrial), not by WithFaultyFpu, so one trial's guard
+  // spans every scope the trial opens.
+  TrialGuard guard;
 };
 
 namespace detail {
@@ -45,6 +56,10 @@ inline void CountScopeTelemetry(const faulty::ContextStats& stats) {
   telemetry::Count(telemetry::Counter::kInjectorScopes);
   telemetry::Count(telemetry::Counter::kInjectorFaults, stats.faults_injected);
   telemetry::Count(telemetry::Counter::kInjectorFlops, stats.faulty_flops);
+  telemetry::Count(telemetry::Counter::kInjectorFaultsArith, stats.faults_arith);
+  telemetry::Count(telemetry::Counter::kInjectorFaultsCompare, stats.faults_compare);
+  telemetry::Count(telemetry::Counter::kInjectorFaultsMemory, stats.faults_memory);
+  telemetry::Count(telemetry::Counter::kInjectorWindows, stats.windows_opened);
 }
 
 // RAII: swap the thread's injector in, restore the previous one on exit.
@@ -70,7 +85,8 @@ auto WithFaultyFpu(const FaultEnvironment& env, Fn&& fn,
   // per trial was measurable across a sweep's thousands of trials).
   faulty::FaultInjector injector(env.fault_rate,
                                  faulty::SharedBitDistribution(env.bit_model),
-                                 env.seed, env.strategy, env.rng);
+                                 env.seed, faulty::ResolveFaultModel(env.model),
+                                 env.strategy, env.rng);
   if constexpr (std::is_void_v<decltype(fn())>) {
     {
       faulty::EngineScope engine_scope(env.engine);

@@ -1,0 +1,149 @@
+// TrialGuard: per-trial budget caps and divergence bailout for the guarded
+// trial executor.
+//
+// Under the richer fault models (stuck-at bits, intermittent windows) a
+// solver can wander far longer than under transient upsets — a stuck
+// exponent bit can keep an objective non-finite for thousands of
+// iterations.  The guard bounds one trial's work with deterministic caps
+// (routed-flop and solver-iteration budgets — never wall clock, so results
+// stay byte-identical across machines and thread counts) and lets solvers
+// bail out of a sustained non-finite objective instead of grinding to the
+// iteration limit.  The outcome is a four-way verdict: success,
+// wrong-result (clean finish, wrong answer), diverged (non-finite bailout),
+// or budget-exhausted.
+//
+// An inactive guard (all fields zero/false — the default everywhere) is
+// behaviorally invisible: GuardStop() returns false without reading any
+// state the solvers would not have read, so pre-guard goldens hold.
+#pragma once
+
+#include <cstdint>
+
+#include "faulty/fault_injector.h"
+
+namespace robustify::core {
+
+struct TrialGuard {
+  // Stop the trial once the injector has routed this many FP ops (0 = no
+  // cap).  Read from the active scope's ContextStats, so the cap is exact
+  // and deterministic for a given seed and config.
+  std::uint64_t max_flops = 0;
+  // Stop after this many solver iterations across the trial (0 = no cap).
+  int max_iterations = 0;
+  // Let solvers abandon a sustained non-finite objective/gradient streak
+  // (the solver defines "sustained"; see opt/sgd.h, opt/cg.h).
+  bool nonfinite_bailout = false;
+
+  bool Active() const {
+    return max_flops != 0 || max_iterations != 0 || nonfinite_bailout;
+  }
+};
+
+// Mutually exclusive per-trial outcome.  kSuccess is exactly the historical
+// success flag; the three failure kinds split the historical failure by
+// *why* — a guard trip never reclassifies a trial that still produced a
+// correct answer.
+enum class TrialVerdict {
+  kSuccess,
+  kWrongResult,      // finished cleanly with a wrong answer
+  kDiverged,         // non-finite bailout tripped
+  kBudgetExhausted,  // flop or iteration cap tripped
+};
+
+inline const char* TrialVerdictName(TrialVerdict verdict) {
+  switch (verdict) {
+    case TrialVerdict::kSuccess: return "success";
+    case TrialVerdict::kWrongResult: return "wrong_result";
+    case TrialVerdict::kDiverged: return "diverged";
+    case TrialVerdict::kBudgetExhausted: return "budget_exhausted";
+  }
+  return "";
+}
+
+namespace detail {
+
+struct GuardState {
+  TrialGuard config;
+  bool active = false;
+  bool budget_tripped = false;
+  bool diverged_tripped = false;
+  std::uint64_t iterations = 0;
+};
+
+// The active guard for this thread (inactive by default: every check
+// short-circuits on `active`).
+inline thread_local GuardState tls_guard;
+
+}  // namespace detail
+
+// RAII: arm the guard for one trial, restore the previous state on exit
+// (trials never nest in practice, but the restore keeps the scope honest).
+class GuardScope {
+ public:
+  explicit GuardScope(const TrialGuard& config) : previous_(detail::tls_guard) {
+    detail::GuardState& g = detail::tls_guard;
+    g.config = config;
+    g.active = config.Active();
+    g.budget_tripped = false;
+    g.diverged_tripped = false;
+    g.iterations = 0;
+  }
+  ~GuardScope() { detail::tls_guard = previous_; }
+  GuardScope(const GuardScope&) = delete;
+  GuardScope& operator=(const GuardScope&) = delete;
+
+ private:
+  detail::GuardState previous_;
+};
+
+// One call per solver iteration: counts the iteration and returns true when
+// the trial's budget is exhausted and the solve should stop where it
+// stands.  Latches — once tripped, every further call returns true, so a
+// trial composed of several solves stops as a whole.
+inline bool GuardStop() {
+  detail::GuardState& g = detail::tls_guard;
+  if (!g.active) return false;
+  if (g.budget_tripped || g.diverged_tripped) return true;
+  ++g.iterations;
+  if (g.config.max_iterations > 0 &&
+      g.iterations > static_cast<std::uint64_t>(g.config.max_iterations)) {
+    g.budget_tripped = true;
+    return true;
+  }
+  if (g.config.max_flops != 0) {
+    const faulty::FaultInjector* inj = faulty::detail::tls_injector;
+    if (inj != nullptr && inj->stats().faulty_flops >= g.config.max_flops) {
+      g.budget_tripped = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+// True when solvers should track non-finite streaks at all.
+inline bool GuardBailoutEnabled() {
+  const detail::GuardState& g = detail::tls_guard;
+  return g.active && g.config.nonfinite_bailout;
+}
+
+// A solver reports a sustained non-finite streak; the trial's verdict
+// becomes kDiverged (unless it still ends up succeeding).
+inline void GuardReportDivergence() {
+  detail::GuardState& g = detail::tls_guard;
+  if (g.active && g.config.nonfinite_bailout) g.diverged_tripped = true;
+}
+
+inline bool GuardDiverged() { return detail::tls_guard.diverged_tripped; }
+inline bool GuardBudgetExhausted() { return detail::tls_guard.budget_tripped; }
+
+// The four-way verdict for a finished trial: divergence outranks budget
+// exhaustion (a bailed-out trial usually also looks cheap), and success is
+// never reclassified.
+inline TrialVerdict ResolveVerdict(bool success) {
+  if (success) return TrialVerdict::kSuccess;
+  if (GuardDiverged()) return TrialVerdict::kDiverged;
+  if (GuardBudgetExhausted()) return TrialVerdict::kBudgetExhausted;
+  return TrialVerdict::kWrongResult;
+}
+
+}  // namespace robustify::core

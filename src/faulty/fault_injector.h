@@ -27,6 +27,7 @@
 #include <cstdint>
 
 #include "faulty/bit_distribution.h"
+#include "faulty/fault_model.h"
 #include "faulty/gap_sampler.h"
 #include "faulty/lfsr.h"
 
@@ -44,6 +45,13 @@ namespace robustify::faulty {
 struct ContextStats {
   std::uint64_t faulty_flops = 0;    // FP ops executed on the faulty FPU
   std::uint64_t faults_injected = 0; // how many of them were corrupted
+  // Corruptions split by op class (they sum to faults_injected), plus the
+  // number of sticky/intermittent windows the temporal model opened.  All
+  // zero except faults_arith/faults_compare under the default model.
+  std::uint64_t faults_arith = 0;
+  std::uint64_t faults_compare = 0;
+  std::uint64_t faults_memory = 0;
+  std::uint64_t windows_opened = 0;
 };
 
 // How many LFSR words one fault costs.  Split (the historical default)
@@ -88,6 +96,16 @@ class FaultInjector {
   // kSplit (the per-op oracle always draws split, preserving its stream).
   FaultInjector(double fault_rate, const BitDistribution& bits, std::uint64_t seed,
                 Strategy strategy = Strategy::kAuto, RngMode rng = RngMode::kAuto);
+  // Fault-model form.  `model.temporal == kAuto` is taken as kTransient
+  // here — the ROBUSTIFY_FAULT_MODEL override is resolved by the scope
+  // layer (core::WithFaultyFpu via ResolveFaultModel), never by the
+  // injector itself, so tests and benches that construct injectors
+  // directly are immune to the env override.  Non-default models always
+  // draw split RNG words (the fused layout applies only to the default
+  // transient model).
+  FaultInjector(double fault_rate, const BitDistribution& bits, std::uint64_t seed,
+                const FaultModel& model, Strategy strategy = Strategy::kAuto,
+                RngMode rng = RngMode::kAuto);
   // A temporary would dangle (only a pointer is kept); make it a compile
   // error instead of a use-after-free on the first injected fault.
   FaultInjector(double fault_rate, BitDistribution&& bits, std::uint64_t seed,
@@ -103,6 +121,7 @@ class FaultInjector {
       return clean_result;
     }
     if (per_op_) {
+      if (!model_default_) return ModelFault(clean_result, kOpClassArith);
       ++scheduled_;
       if (threshold_ != 0 && rng_.next() < threshold_) return Corrupt(clean_result);
       return clean_result;
@@ -119,15 +138,39 @@ class FaultInjector {
       return clean_result;
     }
     if (per_op_) {
+      if (!model_default_) return ModelComparisonFault(clean_result);
       ++scheduled_;
       if (threshold_ != 0 && rng_.next() < threshold_) {
         ++faults_;
+        ++faults_compare_;
         return !clean_result;
       }
       return clean_result;
     }
     return FaultPathComparison(clean_result);
   }
+
+  // Memory-load corruption (op class kOpClassMemory): the linalg kernel
+  // layer routes element reads through here when the model enables the
+  // class (callers must check routes_loads() first — the default model
+  // keeps loads entirely off the injector, preserving the historical op
+  // stream).  A routed load counts as one scheduled op, exactly like an
+  // arithmetic result.
+  double ExecuteLoad(double clean_value) {
+    const std::uint64_t remaining = countdown_;
+    if (ROBUSTIFY_LIKELY(remaining != 0)) {
+      countdown_ = remaining - 1;
+      return clean_value;
+    }
+    return ModelFault(clean_value, kOpClassMemory);
+  }
+
+  // True when the active model corrupts memory loads.  Implies a
+  // non-default model, so dispatch layers force the templated per-scalar
+  // kernels (where the load hooks live) on both engines.
+  bool routes_loads() const { return routes_loads_; }
+
+  const FaultModel& model() const { return model_; }
 
   // ---- block-engine API (src/faulty/block_engine.h, linalg/faulty_blas) --
   //
@@ -140,6 +183,10 @@ class FaultInjector {
   // per-scalar boundary path op by op, preserving the oracle's RNG stream.
 
   // Ops guaranteed clean from now under the deterministic gap schedule.
+  // While a sticky window (stuck-at / intermittent) is live the countdown
+  // is pinned at zero, so this returns 0 and block kernels degrade to the
+  // per-scalar boundary path op by op — which is exactly what keeps the
+  // block and scalar engines bit-identical under the sticky models.
   std::uint64_t CleanRun() const { return countdown_; }
 
   // Accounts for `n` clean ops executed outside Execute().  Precondition:
@@ -158,9 +205,16 @@ class FaultInjector {
     // Single invariant for both strategies (mod 2^64): ops executed =
     // scheduled_ - countdown_.  Skip-ahead keeps countdown_ inside the last
     // sampled gap; per-op mode pins countdown_ at 0 and bumps scheduled_
-    // once per op, so the same subtraction is the plain op count.
+    // once per op, so the same subtraction is the plain op count.  A live
+    // sticky window moves the suspended remainder of the gap to
+    // pending_gap_ (outside both terms) and restores it symmetrically on
+    // expiry, so the invariant holds through every window transition.
     s.faulty_flops = scheduled_ - countdown_;
     s.faults_injected = faults_;
+    s.faults_arith = faults_arith_;
+    s.faults_compare = faults_compare_;
+    s.faults_memory = faults_memory_;
+    s.windows_opened = windows_opened_;
     return s;
   }
 
@@ -178,6 +232,19 @@ class FaultInjector {
   double Corrupt(double value);
   static double FlipBit(double value, int bit);
 
+  // Non-default temporal-model machinery (cold, out of line).  ModelFault /
+  // ModelComparisonFault own the whole op under a non-default model:
+  // schedule bookkeeping, firing the scheduled fault, and applying any live
+  // window effect (stuck-bit forcing, intermittent in-window corruption).
+  double ModelFault(double clean_result, unsigned op_class);
+  bool ModelComparisonFault(bool clean_result);
+  double FireScheduledFault(double value, unsigned op_class);
+  void ArmStuckWindow();
+  void OpenWindow(std::uint64_t length);
+  void CloseWindow();
+  double CorruptClass(double value, unsigned op_class);
+  void CountClassFault(unsigned op_class);
+
   const BitDistribution* bits_;
   const GeometricGapSampler* gaps_ = nullptr;  // null at rates 0 and 1
   Lfsr rng_;
@@ -189,6 +256,20 @@ class FaultInjector {
   bool per_op_ = false;
   bool fused_ = false;            // one LFSR word serves the gap + bit draws
   bool bulk_profitable_ = true;   // rate low enough for bulk clean runs
+
+  // ---- temporal-model state (untouched under the default model) ----------
+  FaultModel model_{};
+  bool model_default_ = true;     // fast-path flag: skip all of the below
+  bool routes_loads_ = false;     // model routes memory loads (kOpClassMemory)
+  std::uint64_t window_ops_left_ = 0;  // live stuck/intermittent window ops
+  std::uint64_t pending_gap_ = 0;  // skip-ahead gap suspended by the window
+  std::uint64_t stuck_or_ = 0;     // live stuck-at-1 forcing mask
+  std::uint64_t stuck_and_ = ~0ull;  // live stuck-at-0 forcing mask
+  std::uint64_t window_threshold_ = 0;  // window_rate scaled to uint64
+  std::uint64_t faults_arith_ = 0;
+  std::uint64_t faults_compare_ = 0;
+  std::uint64_t faults_memory_ = 0;
+  std::uint64_t windows_opened_ = 0;
 };
 
 // The ROBUSTIFY_INJECTOR override every kAuto injector resolves through:
@@ -224,5 +305,22 @@ inline bool ExecuteComparison(bool clean_result) {
 
 // True when a fault-injection scope is active on this thread.
 inline bool InjectorActive() { return detail::tls_injector != nullptr; }
+
+// True when the active scope's model corrupts memory loads — the linalg
+// kernels consult this before routing element reads through ExecuteLoad,
+// and the engine dispatch forces the templated per-scalar loops (which
+// carry the load hooks) whenever it holds.
+inline bool LoadsRouted() {
+  const FaultInjector* inj = detail::tls_injector;
+  return inj != nullptr && inj->routes_loads();
+}
+
+// Routes one memory load through the thread's injector.  Callers must have
+// checked LoadsRouted(); the null test here is only a safety net for
+// kernels instantiated outside a scope.
+inline double ExecuteLoad(double clean_value) {
+  FaultInjector* inj = detail::tls_injector;
+  return inj ? inj->ExecuteLoad(clean_value) : clean_value;
+}
 
 }  // namespace robustify::faulty

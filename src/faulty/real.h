@@ -62,6 +62,17 @@ inline Real abs(Real a) { return fabs(a); }
 inline bool isfinite(Real a) { return std::isfinite(a.value()); }
 inline bool isnan(Real a) { return std::isnan(a.value()); }
 
+// A memory load of a kernel element, routed through the injector when the
+// active fault model corrupts loads (kOpClassMemory — see
+// fault_model.h).  Identity under the default model and for clean double
+// data, so the historical op stream is untouched; when loads are routed,
+// the engine dispatch forces the templated per-scalar kernels so every
+// element read passes through here on both engines.
+inline Real LoadElem(Real a) {
+  return LoadsRouted() ? Real(ExecuteLoad(a.value())) : a;
+}
+inline double LoadElem(double v) { return v; }
+
 // The block kernel layer (linalg/faulty_blas.h) executes arrays of Real as
 // raw double arrays — storage is reliable either way, only the arithmetic
 // performed on it differs.  Real is a single stored double by construction;

@@ -19,16 +19,25 @@ std::string Quoted(const std::string& s) {
 
 }  // namespace
 
-void WriteSweepCsv(const std::string& path, const std::vector<Series>& series) {
+void WriteSweepCsv(const std::string& path, const std::vector<Series>& series,
+                   bool outcome_columns) {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("cannot open " + path + " for writing");
   os << "fault_rate";
   for (const Series& s : series) {
     os << "," << Quoted(s.name + " success_pct") << "," << Quoted(s.name + " median_metric")
        << "," << Quoted(s.name + " mean_faulty_flops");
+    if (outcome_columns) {
+      os << "," << Quoted(s.name + " wrong_pct") << ","
+         << Quoted(s.name + " diverged_pct") << ","
+         << Quoted(s.name + " budget_pct");
+    }
   }
   os << "\n";
   if (series.empty()) return;
+  const auto pct = [](int count, int trials) {
+    return trials > 0 ? 100.0 * count / trials : 0.0;
+  };
   for (std::size_t r = 0; r < series.front().points.size(); ++r) {
     os << series.front().points[r].fault_rate;
     for (const Series& s : series) {
@@ -36,8 +45,13 @@ void WriteSweepCsv(const std::string& path, const std::vector<Series>& series) {
         const TrialSummary& sum = s.points[r].summary;
         os << "," << sum.success_rate_pct << "," << sum.median_metric << ","
            << sum.mean_faulty_flops;
+        if (outcome_columns) {
+          os << "," << pct(sum.wrong_results, sum.trials) << ","
+             << pct(sum.diverged, sum.trials) << ","
+             << pct(sum.budget_exhausted, sum.trials);
+        }
       } else {
-        os << ",,,";
+        os << (outcome_columns ? ",,,,,," : ",,,");
       }
     }
     os << "\n";

@@ -26,6 +26,8 @@ std::vector<Series> RunFaultRateSweep(const SweepConfig& config,
     env.fault_rate = config.fault_rates[static_cast<std::size_t>(r)];
     env.seed = config.base_seed;
     env.bit_model = config.bit_model;
+    env.model = config.model;
+    env.guard = config.guard;
     outcomes[static_cast<std::size_t>(cell)] =
         RunSingleTrial(trials[static_cast<std::size_t>(s)].fn, env, t);
     telemetry::ProgressUnitDone(1);

@@ -20,6 +20,11 @@ struct SweepConfig {
   // base_seed + repetition alone and the reduction runs serially in grid
   // order.
   int threads = 0;
+  // Fault model (temporal behavior + op-class mask) for every cell; the
+  // default reproduces the historical transient injector.
+  faulty::FaultModel model;
+  // Per-trial budget caps / divergence bailout; inactive by default.
+  core::TrialGuard guard;
 };
 
 struct SeriesPoint {

@@ -5,7 +5,9 @@
 #include <limits>
 #include <vector>
 
+#include "core/guard.h"
 #include "harness/parallel.h"
+#include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
 namespace robustify::harness {
@@ -14,7 +16,17 @@ TrialOutcome RunSingleTrial(const TrialFn& fn, core::FaultEnvironment env,
                             int trial_index) {
   telemetry::SpanScope trial_span("trial");
   env.seed += static_cast<std::uint64_t>(trial_index);
-  return fn(env);
+  // Arm the guard for the whole trial (inactive guards are invisible), then
+  // resolve the four-way verdict from the success flag plus the guard trips.
+  core::GuardScope guard(env.guard);
+  TrialOutcome outcome = fn(env);
+  outcome.verdict = core::ResolveVerdict(outcome.success);
+  if (outcome.verdict == core::TrialVerdict::kDiverged) {
+    telemetry::Count(telemetry::Counter::kTrialsDiverged);
+  } else if (outcome.verdict == core::TrialVerdict::kBudgetExhausted) {
+    telemetry::Count(telemetry::Counter::kTrialsBudgetExhausted);
+  }
+  return outcome;
 }
 
 TrialSummary SummarizeOutcomes(const TrialOutcome* outcomes, int count) {
@@ -28,6 +40,20 @@ TrialSummary SummarizeOutcomes(const TrialOutcome* outcomes, int count) {
   for (int t = 0; t < trials; ++t) {
     const TrialOutcome& outcome = outcomes[t];
     if (outcome.success) ++summary.successes;
+    // Re-anchor the verdict on the success flag so outcomes that never
+    // passed through RunSingleTrial (hand-built in tests, replayed from a
+    // journal) still satisfy successes + failures == trials.
+    const core::TrialVerdict verdict =
+        outcome.success ? core::TrialVerdict::kSuccess
+        : outcome.verdict == core::TrialVerdict::kSuccess
+            ? core::TrialVerdict::kWrongResult
+            : outcome.verdict;
+    switch (verdict) {
+      case core::TrialVerdict::kSuccess: break;
+      case core::TrialVerdict::kWrongResult: ++summary.wrong_results; break;
+      case core::TrialVerdict::kDiverged: ++summary.diverged; break;
+      case core::TrialVerdict::kBudgetExhausted: ++summary.budget_exhausted; break;
+    }
     const double metric = std::isfinite(outcome.metric)
                               ? outcome.metric
                               : std::numeric_limits<double>::infinity();

@@ -21,6 +21,10 @@ struct TrialOutcome {
   bool success = false;
   double metric = 0.0;  // app-specific quality (lower is better)
   faulty::ContextStats fpu_stats;
+  // Four-way outcome (core/guard.h), resolved by RunSingleTrial from the
+  // success flag plus the trial's guard state.  Trial functions leave it
+  // alone; with no guard configured it is simply success/wrong-result.
+  core::TrialVerdict verdict = core::TrialVerdict::kWrongResult;
 };
 
 using TrialFn = std::function<TrialOutcome(const core::FaultEnvironment&)>;
@@ -33,6 +37,12 @@ struct TrialSummary {
   double mean_metric = 0.0;    // mean over finite metrics only
   double mean_faulty_flops = 0.0;
   double mean_faults_injected = 0.0;
+  // Failure taxonomy (counts sum with successes to trials): clean-but-wrong
+  // answers, non-finite bailouts, and budget-cap trips.  All wrong_results
+  // unless the trials ran under an active guard.
+  int wrong_results = 0;
+  int diverged = 0;
+  int budget_exhausted = 0;
 };
 
 // Runs repetition `trial_index` of `fn`: env.seed = env.seed + trial_index,

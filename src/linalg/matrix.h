@@ -48,7 +48,14 @@ void MatVecInto(const Matrix<T>& a, const Vector<T>& x, Vector<T>* y) {
   for (std::size_t i = 0; i < rows; ++i) {
     T acc(0);
     const T* ROBUSTIFY_RESTRICT row = a.row(i);
-    for (std::size_t j = 0; j < cols; ++j) acc += row[j] * xp[j];
+    for (std::size_t j = 0; j < cols; ++j) {
+      // Explicit statements pin the routed-load order (matrix element,
+      // then vector element); LoadElem is the identity unless the fault
+      // model corrupts memory loads.
+      const T av = faulty::LoadElem(row[j]);
+      const T xv = faulty::LoadElem(xp[j]);
+      acc += av * xv;
+    }
     yp[i] = acc;
   }
 }
@@ -70,7 +77,14 @@ void MatTVecInto(const Matrix<T>& a, const Vector<T>& x, Vector<T>* y) {
   for (std::size_t j = 0; j < cols; ++j) yp[j] = T(0);
   for (std::size_t i = 0; i < rows; ++i) {
     const T* ROBUSTIFY_RESTRICT row = a.row(i);
-    for (std::size_t j = 0; j < cols; ++j) yp[j] += row[j] * xp[i];
+    // x[i] is register-resident across the row: one routed load per row,
+    // not one per column.
+    const T xv = faulty::LoadElem(xp[i]);
+    for (std::size_t j = 0; j < cols; ++j) {
+      const T av = faulty::LoadElem(row[j]);
+      const T yv = faulty::LoadElem(yp[j]);
+      yp[j] = yv + av * xv;
+    }
   }
 }
 

@@ -76,7 +76,11 @@ namespace detail {
 template <class T>
 inline bool UseBlockKernels() {
   if constexpr (std::is_same_v<T, faulty::Real>) {
-    return faulty::BlockEngineActive();
+    // Routed memory loads force the templated per-scalar loops on both
+    // engines — the load hooks (faulty::LoadElem) live there, and running
+    // them everywhere is what keeps block and scalar bit-identical when
+    // the model corrupts loads.
+    return faulty::BlockEngineActive() && !faulty::LoadsRouted();
   } else {
     return false;
   }
@@ -103,7 +107,14 @@ T Dot(const Vector<T>& a, const Vector<T>& b) {
                           faulty::AsDoubleArray(b.data()), 1));
   }
   T acc(0);
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Explicit statements pin the load order (a, then b) — the injector's
+    // routed-load stream must not depend on unspecified operand evaluation
+    // order.  LoadElem is the identity unless the model corrupts loads.
+    const T av = faulty::LoadElem(a[i]);
+    const T bv = faulty::LoadElem(b[i]);
+    acc += av * bv;
+  }
   return acc;
 }
 
@@ -119,7 +130,11 @@ void AxpyInPlace(const T& alpha, const Vector<T>& x, Vector<T>* y) {
   }
   const T* ROBUSTIFY_RESTRICT xp = x.data();
   T* ROBUSTIFY_RESTRICT yp = y->data();
-  for (std::size_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const T xv = faulty::LoadElem(xp[i]);
+    const T yv = faulty::LoadElem(yp[i]);
+    yp[i] = yv + alpha * xv;
+  }
 }
 
 // y -= alpha * x.  x and y must not alias.
@@ -133,7 +148,11 @@ void AxmyInPlace(const T& alpha, const Vector<T>& x, Vector<T>* y) {
   }
   const T* ROBUSTIFY_RESTRICT xp = x.data();
   T* ROBUSTIFY_RESTRICT yp = y->data();
-  for (std::size_t i = 0; i < n; ++i) yp[i] -= alpha * xp[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const T xv = faulty::LoadElem(xp[i]);
+    const T yv = faulty::LoadElem(yp[i]);
+    yp[i] = yv - alpha * xv;
+  }
 }
 
 // y -= x.  x and y must not alias.
@@ -146,7 +165,11 @@ void SubInPlace(const Vector<T>& x, Vector<T>* y) {
   }
   const T* ROBUSTIFY_RESTRICT xp = x.data();
   T* ROBUSTIFY_RESTRICT yp = y->data();
-  for (std::size_t i = 0; i < n; ++i) yp[i] -= xp[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const T xv = faulty::LoadElem(xp[i]);
+    const T yv = faulty::LoadElem(yp[i]);
+    yp[i] = yv - xv;
+  }
 }
 
 // p = s + beta * p — the CG search-direction recurrence.  s and p must not
@@ -161,7 +184,11 @@ void XpbyInPlace(const Vector<T>& s, const T& beta, Vector<T>* p) {
   }
   const T* ROBUSTIFY_RESTRICT sp = s.data();
   T* ROBUSTIFY_RESTRICT pp = p->data();
-  for (std::size_t i = 0; i < n; ++i) pp[i] = sp[i] + beta * pp[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const T sv = faulty::LoadElem(sp[i]);
+    const T pv = faulty::LoadElem(pp[i]);
+    pp[i] = sv + beta * pv;
+  }
 }
 
 // x /= divisor (one faulty division per element).
@@ -173,7 +200,10 @@ void DivInPlace(const T& divisor, Vector<T>* x) {
     return;
   }
   T* ROBUSTIFY_RESTRICT xp = x->data();
-  for (std::size_t i = 0; i < n; ++i) xp[i] = xp[i] / divisor;
+  for (std::size_t i = 0; i < n; ++i) {
+    const T xv = faulty::LoadElem(xp[i]);
+    xp[i] = xv / divisor;
+  }
 }
 
 // x *= alpha (one faulty multiplication per element).
@@ -185,7 +215,10 @@ void ScalInPlace(const T& alpha, Vector<T>* x) {
     return;
   }
   T* ROBUSTIFY_RESTRICT xp = x->data();
-  for (std::size_t i = 0; i < n; ++i) xp[i] = xp[i] * alpha;
+  for (std::size_t i = 0; i < n; ++i) {
+    const T xv = faulty::LoadElem(xp[i]);
+    xp[i] = xv * alpha;
+  }
 }
 
 template <class T>

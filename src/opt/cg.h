@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstddef>
 
+#include "core/guard.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 #include "opt/workspace.h"
@@ -63,10 +64,24 @@ void SolveCglsInto(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
   p.CopyFrom(s);
   T gamma = NormSquared(s);
 
+  // Guarded execution (core/guard.h): budget caps stop the solve at the
+  // current iterate (the final scrub + true-residual readout below still
+  // runs); with bailout enabled, 4 consecutive non-finite-triggered
+  // restarts — alpha or beta non-finite with no clean iteration between —
+  // abandon the solve as diverged.  Inactive guards change nothing.
+  const bool guard_bailout = core::GuardBailoutEnabled();
+  constexpr int kNonFiniteRestartLimit = 4;
+  int nonfinite_restarts = 0;
+
   int performed = 0;
   std::uint64_t restarts = 0;
   bool need_restart = false;
   for (int it = 0; it < options.iterations; ++it, ++performed) {
+    if (core::GuardStop()) break;
+    if (guard_bailout && nonfinite_restarts >= kNonFiniteRestartLimit) {
+      core::GuardReportDivergence();
+      break;
+    }
     if (need_restart || (options.restart_every > 0 && it > 0 && it % options.restart_every == 0)) {
       ++restarts;
       // Scrub any non-finite coordinates, then restart from the true residual.
@@ -88,6 +103,7 @@ void SolveCglsInto(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
     const T alpha = gamma / qq;
     if (!std::isfinite(AsDouble(alpha))) {
       need_restart = true;
+      ++nonfinite_restarts;
       continue;
     }
     AxpyInPlace(alpha, p, &x);
@@ -97,10 +113,12 @@ void SolveCglsInto(const linalg::Matrix<T>& a, const linalg::Vector<T>& b,
     const T beta = gamma_new / gamma;
     if (!std::isfinite(AsDouble(beta))) {
       need_restart = true;
+      ++nonfinite_restarts;
       continue;
     }
     XpbyInPlace(s, beta, &p);
     gamma = gamma_new;
+    nonfinite_restarts = 0;  // a clean iteration breaks the streak
   }
 
   // Final scrub + true residual norm.

@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstddef>
 
+#include "core/guard.h"
 #include "core/phases.h"
 #include "linalg/scalar.h"
 #include "linalg/vector.h"
@@ -136,8 +137,20 @@ linalg::Vector<T> MinimizeSgd(Objective& objective, linalg::Vector<T> x,
   for (std::size_t j = 0; j < average_sum.size(); ++j) average_sum[j] = T(0);
   int averaged_iterates = 0;
 
+  // Guarded execution (core/guard.h): budget caps stop the descent where it
+  // stands; with bailout enabled, a sustained non-finite streak — 8
+  // consecutive iterations of a non-finite candidate objective (adaptive)
+  // or a fully non-finite raw gradient (plain descent) — abandons the solve
+  // as diverged.  All checks read reliable-core state only; an inactive
+  // guard (the default) changes nothing.
+  const bool guard_bailout = core::GuardBailoutEnabled();
+  constexpr int kNonFiniteStreakLimit = 8;
+  int nonfinite_streak = 0;
+  bool guard_stopped = false;
+
   int t = 0;
   for (std::size_t phase_idx = 0; phase_idx < phase_count; ++phase_idx) {
+    if (guard_stopped) break;
     const core::Phase& phase = schedule[phase_idx];
     telemetry::SpanScope phase_span("phase");
     telemetry::Count(telemetry::Counter::kSgdPhases);
@@ -152,6 +165,10 @@ linalg::Vector<T> MinimizeSgd(Objective& objective, linalg::Vector<T> x,
     if (options.adaptive) fx = detail::VotedValue(objective, x);
 
     for (int i = 0; i < phase_iters; ++i, ++t) {
+      if (core::GuardStop()) {
+        guard_stopped = true;
+        break;
+      }
       if (options.gradient_votes >= 3) {
         // Redundant evaluation with reliable per-component median voting:
         // a catastrophic fault must hit the same component in two of three
@@ -174,13 +191,26 @@ linalg::Vector<T> MinimizeSgd(Objective& objective, linalg::Vector<T> x,
 
       // Scrub & clip on the reliable core: a single exponent-flipped
       // gradient component must not catapult the whole iterate.
+      std::size_t nonfinite_components = 0;
       for (std::size_t j = 0; j < n; ++j) {
         const double g = AsDouble(gradient[j]);
         if (!std::isfinite(g)) {
           gradient[j] = T(0);
+          ++nonfinite_components;
         } else if (options.gradient_clip > 0.0) {
           if (g > options.gradient_clip) gradient[j] = T(options.gradient_clip);
           if (g < -options.gradient_clip) gradient[j] = T(-options.gradient_clip);
+        }
+      }
+      if (guard_bailout && !options.adaptive) {
+        // Plain descent has no objective readout to watch: a raw gradient
+        // with every component non-finite is the divergence signal.
+        nonfinite_streak =
+            (n > 0 && nonfinite_components == n) ? nonfinite_streak + 1 : 0;
+        if (nonfinite_streak >= kNonFiniteStreakLimit) {
+          core::GuardReportDivergence();
+          guard_stopped = true;
+          break;
         }
       }
 
@@ -246,6 +276,17 @@ linalg::Vector<T> MinimizeSgd(Objective& objective, linalg::Vector<T> x,
           fx = detail::VotedValue(objective, x);
         }
         const detail::VotedReadout fc = detail::VotedValue(objective, candidate);
+        if (guard_bailout) {
+          // Adaptive descent watches the candidate objective: a voted
+          // median that stays non-finite for a sustained streak means the
+          // iterate left the representable region for good.
+          nonfinite_streak = std::isfinite(fc.median) ? 0 : nonfinite_streak + 1;
+          if (nonfinite_streak >= kNonFiniteStreakLimit) {
+            core::GuardReportDivergence();
+            guard_stopped = true;
+            break;
+          }
+        }
         // Accept unless the increase is significant against the evaluation
         // noise (the vote spreads): rejecting on sub-noise differences would
         // freeze the descent under heavy fault rates.

@@ -28,6 +28,12 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "campaign.trials_resumed",
     "checkpoint.flushes",
     "checkpoint.records",
+    "injector.faults_arith",
+    "injector.faults_compare",
+    "injector.faults_memory",
+    "injector.windows",
+    "trials.diverged",
+    "trials.budget_exhausted",
 };
 
 constexpr const char* kHistogramNames[kNumHistograms] = {

@@ -60,6 +60,12 @@ enum class Counter : int {
   kCampaignTrialsResumed,// of those, replayed from a checkpoint journal
   kCheckpointFlushes,    // journal batch appends (one locked write each)
   kCheckpointRecords,    // trial records journaled
+  kInjectorFaultsArith,  // corrupted arithmetic results (per op class)
+  kInjectorFaultsCompare,// inverted comparison predicates
+  kInjectorFaultsMemory, // corrupted memory loads (kOpClassMemory models)
+  kInjectorWindows,      // stuck/intermittent windows opened
+  kTrialsDiverged,       // trials ended by the non-finite bailout guard
+  kTrialsBudgetExhausted,// trials ended by a flop/iteration budget cap
   kCount
 };
 

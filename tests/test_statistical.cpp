@@ -364,6 +364,204 @@ TEST(GeometricGapSampler, SharedReturnsOneInstancePerRate) {
   EXPECT_NE(&a, &c);
 }
 
+// --- fault-model laws (faulty/fault_model.h) ---------------------------------
+//
+// The temporal models draw from three per-fault laws: stuck-window duration
+// and intermittent-window length (both Geometric on {1,2,...} with
+// p = 1/mean) and burst width (Uniform{1..max}).  The samplers are held to
+// the exact laws by chi-square, and the end-to-end injector streams are
+// held skip-ahead vs per-op by two-sample gates — the temporal machinery
+// sits above the scheduling strategy, so the observable corruption stream
+// must not depend on which strategy runs underneath.
+
+using robustify::faulty::FaultModel;
+using robustify::faulty::SampleBurstWidth;
+using robustify::faulty::SampleStuckDuration;
+using robustify::faulty::SampleWindowLength;
+using robustify::faulty::Temporal;
+using robustify::faulty::TemporalName;
+
+// Chi-square GoF of geometric-on-{1,2,...} draws with the given mean:
+// shift to {0,1,...} and reuse the gap-law bins with rate = 1/mean.
+void ExpectGeometricDurations(const std::vector<std::uint64_t>& durations,
+                              double mean, const char* what) {
+  ASSERT_FALSE(durations.empty());
+  for (const std::uint64_t d : durations) ASSERT_GE(d, 1u) << what;
+  std::vector<std::uint64_t> shifted;
+  shifted.reserve(durations.size());
+  for (const std::uint64_t d : durations) shifted.push_back(d - 1);
+  const double rate = 1.0 / mean;
+  const int n = static_cast<int>(shifted.size());
+  const std::vector<std::uint64_t> edges = GeometricBinEdges(rate, n);
+  ASSERT_GE(edges.size(), 3u) << what;
+  const std::vector<double> probs = BinProbabilities(rate, edges);
+  const std::vector<double> bins = BinGaps(shifted, edges);
+  const int dof = static_cast<int>(probs.size()) - 1;
+  EXPECT_LT(ChiSquareGoodnessOfFit(bins, probs, n), ChiSquareCrit999(dof))
+      << what;
+}
+
+TEST(ModelLaws, StuckDurationMatchesGeometricLaw) {
+  constexpr int kDraws = 4000;
+  for (const double mean : {8.0, 64.0, 256.0}) {
+    Lfsr rng(11011);
+    std::vector<std::uint64_t> draws;
+    draws.reserve(kDraws);
+    for (int i = 0; i < kDraws; ++i) {
+      draws.push_back(SampleStuckDuration(mean, rng));
+    }
+    ExpectGeometricDurations(draws, mean, "stuck duration");
+  }
+  // Degenerate means collapse to the constant 1, never 0.
+  Lfsr rng(22022);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(SampleStuckDuration(0.5, rng), 1u);
+}
+
+TEST(ModelLaws, WindowLengthMatchesGeometricLaw) {
+  constexpr int kDraws = 4000;
+  for (const double mean : {16.0, 64.0}) {
+    Lfsr rng(33033);
+    std::vector<std::uint64_t> draws;
+    draws.reserve(kDraws);
+    for (int i = 0; i < kDraws; ++i) {
+      draws.push_back(SampleWindowLength(mean, rng));
+    }
+    ExpectGeometricDurations(draws, mean, "window length");
+  }
+}
+
+TEST(ModelLaws, BurstWidthMatchesUniformLaw) {
+  constexpr int kDraws = 8000;
+  for (const int width_max : {2, 4, 8}) {
+    Lfsr rng(44044);
+    std::vector<double> counts(static_cast<std::size_t>(width_max), 0.0);
+    for (int i = 0; i < kDraws; ++i) {
+      const int w = SampleBurstWidth(width_max, rng);
+      ASSERT_GE(w, 1);
+      ASSERT_LE(w, width_max);
+      counts[static_cast<std::size_t>(w - 1)] += 1.0;
+    }
+    const std::vector<double> probs(static_cast<std::size_t>(width_max),
+                                    1.0 / width_max);
+    const int dof = width_max - 1;
+    EXPECT_LT(ChiSquareGoodnessOfFit(counts, probs, kDraws),
+              ChiSquareCrit999(std::max(dof, 3)))
+        << "width_max " << width_max;
+  }
+  Lfsr rng(55055);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(SampleBurstWidth(1, rng), 1);
+}
+
+// End-to-end corruption streams per temporal model, observed strictly
+// through the public Execute() surface: the op index of every corrupting op
+// and the number of bits that changed.
+struct ModelSample {
+  std::vector<std::uint64_t> gaps;  // clean ops between corrupting ops
+  std::vector<double> width_counts = std::vector<double>(kWordBits + 1, 0.0);
+};
+
+ModelSample CollectModelFaults(Temporal temporal, Strategy strategy,
+                               double rate, std::uint64_t seed, double clean,
+                               int target_events) {
+  FaultModel model;
+  model.temporal = temporal;
+  FaultInjector injector(rate, SharedBitDistribution(BitModel::kBimodal), seed,
+                         model, strategy);
+  ModelSample sample;
+  sample.gaps.reserve(static_cast<std::size_t>(target_events));
+  std::uint64_t clean_word;
+  std::memcpy(&clean_word, &clean, sizeof(clean_word));
+  std::uint64_t since_last = 0;
+  while (static_cast<int>(sample.gaps.size()) < target_events) {
+    const double out = injector.Execute(clean);
+    std::uint64_t out_word;
+    std::memcpy(&out_word, &out, sizeof(out_word));
+    const std::uint64_t diff = clean_word ^ out_word;
+    if (diff == 0) {
+      ++since_last;
+      continue;
+    }
+    sample.width_counts[static_cast<std::size_t>(__builtin_popcountll(diff))] +=
+        1.0;
+    sample.gaps.push_back(since_last);
+    since_last = 0;
+  }
+  return sample;
+}
+
+// The corruption stream of every non-default model must be strategy
+// independent in distribution: two-sample KS on the inter-corruption gaps
+// and two-sample chi-square on the changed-bit-width histogram.  (The gap
+// law itself is not geometric for stuck/intermittent — windows cluster
+// corruptions — which is exactly why the cross-strategy gate matters.)
+TEST(ModelLaws, CorruptionStreamsStrategyInvariantInDistribution) {
+  constexpr int kEvents = 1200;
+  constexpr double kRate = 2e-3;
+  const double ks_crit = 1.95 * std::sqrt(2.0 / static_cast<double>(kEvents));
+  const struct {
+    Temporal temporal;
+    double clean;
+  } cases[] = {
+      // 0.0 makes a stuck-at-1 window visible on every forced op.
+      {Temporal::kStuckAt, 0.0},
+      {Temporal::kBurst, 1.5},
+      {Temporal::kIntermittent, 1.5},
+  };
+  for (const auto& c : cases) {
+    const ModelSample skip = CollectModelFaults(c.temporal, Strategy::kSkipAhead,
+                                                kRate, 12121, c.clean, kEvents);
+    const ModelSample perop = CollectModelFaults(c.temporal, Strategy::kPerOp,
+                                                 kRate, 21212, c.clean, kEvents);
+    EXPECT_LT(KsDistance(skip.gaps, perop.gaps), ks_crit)
+        << "gaps, model " << TemporalName(c.temporal);
+    int occupied = 0;
+    for (std::size_t w = 0; w < skip.width_counts.size(); ++w) {
+      if (skip.width_counts[w] + perop.width_counts[w] > 0.0) ++occupied;
+    }
+    const double crit = ChiSquareCrit999(std::max(occupied - 1, 3));
+    EXPECT_LT(ChiSquareTwoSample(skip.width_counts, perop.width_counts), crit)
+        << "widths, model " << TemporalName(c.temporal);
+  }
+}
+
+// Burst widths through the injector follow Uniform{1..max} once clamping at
+// the word edge cannot bite: condition on bursts whose base bit leaves room
+// (the contiguous flipped run starts at the lowest changed bit).
+TEST(ModelLaws, BurstWidthsThroughInjectorMatchUniformLaw) {
+  constexpr int kEvents = 2400;
+  FaultModel model;
+  model.temporal = Temporal::kBurst;
+  FaultInjector injector(0.01, SharedBitDistribution(BitModel::kBimodal), 31313,
+                         model, Strategy::kSkipAhead);
+  const double clean = 1.5;
+  std::uint64_t clean_word;
+  std::memcpy(&clean_word, &clean, sizeof(clean_word));
+  std::vector<double> counts(4, 0.0);
+  int kept = 0;
+  for (int events = 0; events < kEvents;) {
+    const double out = injector.Execute(clean);
+    std::uint64_t out_word;
+    std::memcpy(&out_word, &out, sizeof(out_word));
+    const std::uint64_t diff = clean_word ^ out_word;
+    if (diff == 0) continue;
+    ++events;
+    const int base = __builtin_ctzll(diff);
+    const int width = __builtin_popcountll(diff);
+    EXPECT_EQ(diff >> base, (1ull << width) - 1) << "burst must be contiguous";
+    if (base <= 64 - 4) {  // clamp-free: the full Uniform{1..4} support fits
+      ASSERT_GE(width, 1);
+      ASSERT_LE(width, 4);
+      counts[static_cast<std::size_t>(width - 1)] += 1.0;
+      ++kept;
+    }
+  }
+  ASSERT_GE(kept, 1000);
+  const std::vector<double> probs(4, 0.25);
+  EXPECT_LT(ChiSquareGoodnessOfFit(counts, probs, kept), ChiSquareCrit999(3));
+}
+
+// --- the gap sampler itself (continued) --------------------------------------
+
 // Both sampler forms must produce the geometric law; exercise each just on
 // its side of the table threshold, where a regression would otherwise hide.
 TEST(GeometricGapSampler, BothFormsMatchGeometricLawNearThreshold) {

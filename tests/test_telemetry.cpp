@@ -167,6 +167,34 @@ TEST(Telemetry, CounterTotalsThreadCountInvariant) {
   }
 }
 
+// The fault-model and guard counters (faults by op class, windows opened,
+// guard-trip verdicts) obey the same shard-merge contract as the rest: a
+// sticky-model sweep under tight guard budgets produces identical totals at
+// every thread count, and actually exercises each new counter.
+TEST(Telemetry, ModelAndGuardCountersThreadCountInvariant) {
+  telemetry::SetCountersEnabled(true);
+  const auto run = [](int threads) {
+    harness::SweepConfig config = SmallSweep(threads);
+    config.fault_rates = {0.05, 0.25};
+    config.trials = 8;
+    config.model.temporal = faulty::Temporal::kStuckAt;
+    config.guard.max_iterations = 5;  // trips long before SGD converges
+    config.guard.nonfinite_bailout = true;
+    telemetry::ResetCounters();
+    harness::RunFaultRateSweep(config, {{"SGD+AS,SQS", SortTrial()}});
+    return telemetry::SnapshotCounters();
+  };
+  const telemetry::CounterSnapshot one = run(1);
+  const telemetry::CounterSnapshot eight = run(8);
+  EXPECT_GT(one.value(telemetry::Counter::kInjectorFaultsArith), 0u);
+  EXPECT_GT(one.value(telemetry::Counter::kInjectorWindows), 0u);
+  EXPECT_GT(one.value(telemetry::Counter::kTrialsBudgetExhausted), 0u);
+  for (int c = 0; c < telemetry::kNumCounters; ++c) {
+    EXPECT_EQ(one.counters[c], eight.counters[c])
+        << "counter " << telemetry::CounterName(static_cast<telemetry::Counter>(c));
+  }
+}
+
 // The injector counters are fed from the same ContextStats that the CSVs
 // publish — they must agree exactly.
 TEST(Telemetry, InjectorCountersMatchContextStats) {
@@ -175,6 +203,12 @@ TEST(Telemetry, InjectorCountersMatchContextStats) {
   core::FaultEnvironment env;
   env.fault_rate = 0.01;
   env.seed = 123;
+  // The closing histogram assertion is a law of the skip-ahead transient
+  // path specifically (the per-op oracle draws no gaps to observe, and a
+  // sticky window counts many forced faults per sampled gap), so pin both
+  // against the ROBUSTIFY_INJECTOR / ROBUSTIFY_FAULT_MODEL CI legs.
+  env.strategy = faulty::FaultInjector::Strategy::kSkipAhead;
+  env.model.temporal = faulty::Temporal::kTransient;
   faulty::ContextStats stats;
   core::WithFaultyFpu(
       env,
