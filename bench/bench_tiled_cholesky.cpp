@@ -1,0 +1,91 @@
+// Scaling grid for the tiled faulty Cholesky engine (linalg/tiled.h):
+// problem size x tile size x in-solve workers, timed under injection.
+//
+// Two things to read off the table: (a) wall time vs worker count — the
+// in-trial task parallelism the monolithic baselines cannot offer — and
+// (b) the determinism contract, checked inline: every (n, tile) cell must
+// produce byte-identical solutions at every worker count.
+//
+// Default grid is modest so the bench stays test-suite friendly; pass
+// --trials=N for more repetitions per cell (min wall time is reported).
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/least_squares.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace robustify;
+
+// Byte-level equality: the contract is bit-identical, not approximately so.
+bool SameBits(const linalg::Vector<double>& a, const linalg::Vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchContext ctx("tiled_cholesky", argc, argv);
+  const int reps = std::max(1, ctx.TrialsOr(1));
+  bench::Banner(
+      "Tiled faulty Cholesky - scaling grid (n x tile x workers)",
+      "repo extension: in-trial task parallelism over the faulty BLAS",
+      "wall time falls (or holds, on few cores) as workers grow while every "
+      "cell's solution stays byte-identical across worker counts");
+
+  const std::vector<std::size_t> sizes = {256, 512};
+  const std::vector<std::size_t> tiles = {32, 64, 128};
+  const std::vector<int> workers = {1, 2, 4};
+  const double fault_rate = 1e-6;
+
+  std::printf("%-6s %-6s %-8s %-12s %-14s %-10s\n", "n", "tile", "workers",
+              "wall (s)", "faulty flops", "identical");
+  std::printf("------------------------------------------------------------\n");
+
+  linalg::TiledLsqEngine<faulty::Real> engine;
+  for (const std::size_t n : sizes) {
+    const apps::LsqProblem problem = apps::MakeRandomLsqProblem(n + 64, n, 77 + n);
+    for (const std::size_t tile : tiles) {
+      if (tile > n) continue;
+      linalg::Vector<double> reference;
+      for (const int w : workers) {
+        core::FaultEnvironment env;
+        env.fault_rate = fault_rate;
+        env.seed = 1234;
+        linalg::TiledOptions options;
+        options.tile = tile;
+        options.threads = w;
+        options.fault = apps::TileConfigFromEnv(env);
+        linalg::Vector<double> x;
+        faulty::ContextStats stats;
+        double best = 0.0;
+        for (int r = 0; r < reps; ++r) {
+          harness::WallTimer timer;
+          engine.SolveCholesky(problem.a, problem.b, options, &x, &stats);
+          const double s = timer.Seconds();
+          if (r == 0 || s < best) best = s;
+        }
+        const bool first = reference.size() == 0;
+        if (first) reference = x;
+        const bool identical = SameBits(x, reference);
+        std::printf("%-6zu %-6zu %-8d %-12.4f %-14.3e %-10s\n", n, tile, w, best,
+                    static_cast<double>(stats.faulty_flops),
+                    identical ? "yes" : "NO");
+        char label[64];
+        std::snprintf(label, sizeof(label), "chol_n%zu_b%zu_w%d", n, tile, w);
+        ctx.RecordSection(label, best, static_cast<double>(stats.faulty_flops));
+        if (!identical) {
+          std::fprintf(stderr, "determinism violation at n=%zu tile=%zu w=%d\n", n,
+                       tile, w);
+          return 1;
+        }
+      }
+    }
+  }
+  return ctx.Finish();
+}

@@ -82,6 +82,12 @@ opt::CgOptions LsqCg(int iterations) {
   return o;
 }
 
+opt::CgOptions LsqCgNormal(int iterations) {
+  opt::CgOptions o = LsqCg(iterations);
+  o.normal_equations = true;
+  return o;
+}
+
 // ---- IIR ------------------------------------------------------------------
 
 opt::SgdOptions IirSgdLs() {

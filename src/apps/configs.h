@@ -32,8 +32,11 @@ opt::SgdOptions LsqSgdLs();
 opt::SgdOptions LsqSgdAsLs();
 opt::SgdOptions LsqSgdAsSqs();
 
-// CG least squares (Figures 6.6/6.7).
+// CG least squares (Figures 6.6/6.7).  LsqCg iterates on A directly (two
+// mat-vecs per step); LsqCgNormal precomputes G = A^T A once and iterates
+// q = G p, the paper's Section 4.2 formulation.
 opt::CgOptions LsqCg(int iterations);
+opt::CgOptions LsqCgNormal(int iterations);
 
 // IIR (Figure 6.3): 1000 iterations on the 500-sample variational form.
 opt::SgdOptions IirSgdLs();

@@ -49,6 +49,17 @@ struct FaultEnvironment {
 
 namespace detail {
 
+// Per-thread trial session for the sticky-window hand-off.  While active, a
+// live stuck-at / intermittent window outlives the WithFaultyFpu scope that
+// opened it and resumes in the trial's next scope — a stuck line in silicon
+// doesn't heal between kernel calls.
+struct TrialFaultSession {
+  bool active = false;
+  faulty::CarriedWindow window;
+};
+
+inline thread_local TrialFaultSession tls_trial_session;
+
 // Feed the injector telemetry counters once per scope, from the same
 // ContextStats the injector already maintains for the CSVs — telemetry adds
 // nothing to the per-op path and cannot diverge from the published numbers.
@@ -77,6 +88,26 @@ class FaultScope {
 
 }  // namespace detail
 
+// RAII marker for "one trial runs on this thread": while alive, consecutive
+// WithFaultyFpu scopes hand live sticky windows to each other (the injector
+// AdoptWindow/ExportWindow pair).  Installed by harness::RunSingleTrial so
+// every trial gets the hand-off for free; nesting restores the outer
+// session on exit.  Under the default transient model both hooks are no-ops
+// and the historical op/fault streams are untouched.
+class TrialFaultScope {
+ public:
+  TrialFaultScope() : previous_(detail::tls_trial_session) {
+    detail::tls_trial_session = {};
+    detail::tls_trial_session.active = true;
+  }
+  ~TrialFaultScope() { detail::tls_trial_session = previous_; }
+  TrialFaultScope(const TrialFaultScope&) = delete;
+  TrialFaultScope& operator=(const TrialFaultScope&) = delete;
+
+ private:
+  detail::TrialFaultSession previous_;
+};
+
 template <class Fn>
 auto WithFaultyFpu(const FaultEnvironment& env, Fn&& fn,
                    faulty::ContextStats* stats = nullptr) -> decltype(fn()) {
@@ -87,12 +118,15 @@ auto WithFaultyFpu(const FaultEnvironment& env, Fn&& fn,
                                  faulty::SharedBitDistribution(env.bit_model),
                                  env.seed, faulty::ResolveFaultModel(env.model),
                                  env.strategy, env.rng);
+  detail::TrialFaultSession& session = detail::tls_trial_session;
+  if (session.active) injector.AdoptWindow(session.window);
   if constexpr (std::is_void_v<decltype(fn())>) {
     {
       faulty::EngineScope engine_scope(env.engine);
       detail::FaultScope scope(&injector);
       std::forward<Fn>(fn)();
     }
+    if (session.active) session.window = injector.ExportWindow();
     const faulty::ContextStats final_stats = injector.stats();
     if (stats) *stats = final_stats;
     detail::CountScopeTelemetry(final_stats);
@@ -100,7 +134,9 @@ auto WithFaultyFpu(const FaultEnvironment& env, Fn&& fn,
     struct Finalizer {
       faulty::FaultInjector& injector;
       faulty::ContextStats* stats;
+      detail::TrialFaultSession& session;
       ~Finalizer() {
+        if (session.active) session.window = injector.ExportWindow();
         const faulty::ContextStats final_stats = injector.stats();
         if (stats) *stats = final_stats;
         detail::CountScopeTelemetry(final_stats);
@@ -108,7 +144,7 @@ auto WithFaultyFpu(const FaultEnvironment& env, Fn&& fn,
     };
     faulty::EngineScope engine_scope(env.engine);
     detail::FaultScope scope(&injector);
-    Finalizer finalize{injector, stats};
+    Finalizer finalize{injector, stats, session};
     return std::forward<Fn>(fn)();
   }
 }

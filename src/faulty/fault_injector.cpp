@@ -316,6 +316,33 @@ double FaultInjector::FireScheduledFault(double value, unsigned op_class) {
   return value;
 }
 
+CarriedWindow FaultInjector::ExportWindow() const {
+  CarriedWindow window;
+  if (model_default_ || window_ops_left_ == 0) return window;
+  window.ops_left = window_ops_left_;
+  window.stuck_or = stuck_or_;
+  window.stuck_and = stuck_and_;
+  window.temporal = model_.temporal;
+  return window;
+}
+
+void FaultInjector::AdoptWindow(const CarriedWindow& window) {
+  if (!window.live() || model_default_ || model_.temporal != window.temporal) {
+    return;
+  }
+  // Suspend the fresh gap schedule exactly as OpenWindow does on first open
+  // (adoption happens right after construction, before any routed op, but
+  // guard on an already-open window for safety).
+  if (!per_op_ && window_ops_left_ == 0) {
+    pending_gap_ = countdown_;
+    scheduled_ -= pending_gap_;
+    countdown_ = 0;
+  }
+  window_ops_left_ = window.ops_left;
+  stuck_or_ = window.stuck_or;
+  stuck_and_ = window.stuck_and;
+}
+
 // The whole per-op decision for arithmetic/load results under a non-default
 // model: schedule bookkeeping (fresh gap, suspended-gap countdown inside a
 // window, or the per-op Bernoulli oracle), firing, and the live window

@@ -81,6 +81,19 @@ RngMode EnvRngMode();
 // every report producer so the JSONs cannot drift.
 const char* RngModeName(RngMode mode);
 
+// A live sticky (stuck-at / intermittent) window snapshotted at injector
+// scope exit so the next scope of the same trial can resume it — a stuck
+// line in silicon doesn't heal between kernel calls (see
+// core::TrialFaultScope).  Dead (ops_left == 0) under the default model and
+// for scopes whose window expired naturally.
+struct CarriedWindow {
+  std::uint64_t ops_left = 0;
+  std::uint64_t stuck_or = 0;       // stuck-at-1 forcing mask
+  std::uint64_t stuck_and = ~0ull;  // stuck-at-0 forcing mask
+  Temporal temporal = Temporal::kTransient;
+  bool live() const { return ops_left != 0; }
+};
+
 class FaultInjector {
  public:
   enum class Strategy {
@@ -220,6 +233,20 @@ class FaultInjector {
 
   Strategy strategy() const { return per_op_ ? Strategy::kPerOp : Strategy::kSkipAhead; }
   RngMode rng_mode() const { return fused_ ? RngMode::kFused : RngMode::kSplit; }
+
+  // ---- window hand-off across scopes (core::TrialFaultScope) -------------
+  //
+  // Historically a live stuck/intermittent window died with its injector
+  // scope: a bit reported "stuck" healed the moment one kernel call returned
+  // and the next began.  ExportWindow snapshots the live window at scope
+  // exit; AdoptWindow re-arms it in the next scope's injector (suspending
+  // that injector's gap schedule exactly as OpenWindow would) so the window
+  // runs out its remaining ops across scope boundaries.  Adoption is not a
+  // new window: stats().windows_opened counts only windows the temporal
+  // model opened.  A no-op unless the carried window is live and this
+  // injector runs the same non-default temporal model.
+  CarriedWindow ExportWindow() const;
+  void AdoptWindow(const CarriedWindow& window);
 
  private:
   static constexpr std::uint64_t kNever = ~0ull;

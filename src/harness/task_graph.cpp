@@ -1,0 +1,142 @@
+#include "harness/task_graph.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+
+#include "harness/parallel.h"
+
+namespace robustify::harness {
+
+void TaskGraph::Reset(std::size_t resources) {
+  tags_.clear();
+  indegree_.clear();
+  // Inner vectors keep their capacity; AddTask / Writes clear them lazily.
+  if (last_writer_.size() < resources) last_writer_.resize(resources);
+  std::fill(last_writer_.begin(), last_writer_.begin() + static_cast<std::ptrdiff_t>(resources),
+            -1);
+  if (readers_.size() < resources) readers_.resize(resources);
+  for (std::size_t r = 0; r < resources; ++r) readers_[r].clear();
+}
+
+int TaskGraph::AddTask(const TaskTag& tag) {
+  const int id = static_cast<int>(tags_.size());
+  tags_.push_back(tag);
+  indegree_.push_back(0);
+  if (succ_.size() < tags_.size()) {
+    succ_.emplace_back();
+  } else {
+    succ_[static_cast<std::size_t>(id)].clear();
+  }
+  return id;
+}
+
+void TaskGraph::AddEdge(int pred, int succ) {
+  if (pred < 0 || pred == succ) return;
+  succ_[static_cast<std::size_t>(pred)].push_back(succ);
+  ++indegree_[static_cast<std::size_t>(succ)];
+}
+
+void TaskGraph::Reads(int task, std::size_t resource) {
+  AddEdge(last_writer_[resource], task);
+  readers_[resource].push_back(task);
+}
+
+void TaskGraph::Writes(int task, std::size_t resource) {
+  AddEdge(last_writer_[resource], task);
+  for (int reader : readers_[resource]) AddEdge(reader, task);
+  readers_[resource].clear();
+  last_writer_[resource] = task;
+}
+
+void TaskGraph::SeedReady() {
+  pending_.assign(indegree_.begin(), indegree_.end());
+  ready_.clear();
+  ready_.reserve(tags_.size());
+  // Seed in reverse id order so the LIFO pop below starts from task 0.
+  for (int id = size(); id-- > 0;) {
+    if (pending_[static_cast<std::size_t>(id)] == 0) ready_.push_back(id);
+  }
+}
+
+void TaskGraph::RunImpl(int threads, RawBody fn, void* ctx) {
+  if (tags_.empty()) return;
+  const int workers = std::min(std::max(threads, 1), size());
+  SeedReady();
+  if (workers <= 1) {
+    RunSerial(fn, ctx);
+  } else {
+    RunParallel(workers, fn, ctx);
+  }
+}
+
+void TaskGraph::RunSerial(RawBody fn, void* ctx) {
+  int executed = 0;
+  while (!ready_.empty()) {
+    const int id = ready_.back();
+    ready_.pop_back();
+    fn(ctx, id, tags_[static_cast<std::size_t>(id)]);
+    ++executed;
+    for (int s : succ_[static_cast<std::size_t>(id)]) {
+      if (--pending_[static_cast<std::size_t>(s)] == 0) ready_.push_back(s);
+    }
+  }
+  if (executed != size()) {
+    throw std::logic_error("TaskGraph: declared accesses form a cycle");
+  }
+}
+
+void TaskGraph::RunParallel(int workers, RawBody fn, void* ctx) {
+  std::mutex mu;
+  std::condition_variable work;
+  int remaining = size();
+  int running = 0;
+  bool stuck = false;
+  std::exception_ptr error;
+
+  ParallelFor(workers, workers, [&](int) {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      while (ready_.empty() && remaining > 0 && running > 0 && !error) {
+        work.wait(lock);
+      }
+      if (remaining == 0 || error) return;
+      if (ready_.empty()) {
+        // No runnable task, nothing in flight: the graph has a cycle.
+        stuck = true;
+        remaining = 0;
+        work.notify_all();
+        return;
+      }
+      const int id = ready_.back();
+      ready_.pop_back();
+      ++running;
+      lock.unlock();
+      try {
+        fn(ctx, id, tags_[static_cast<std::size_t>(id)]);
+      } catch (...) {
+        lock.lock();
+        if (!error) error = std::current_exception();
+        --running;
+        work.notify_all();
+        return;
+      }
+      lock.lock();
+      --running;
+      --remaining;
+      for (int s : succ_[static_cast<std::size_t>(id)]) {
+        if (--pending_[static_cast<std::size_t>(s)] == 0) ready_.push_back(s);
+      }
+      // Wake everyone even when nothing became ready: with running now
+      // possibly 0, sleepers must re-check the no-progress (cycle) case.
+      work.notify_all();
+    }
+  });
+
+  if (error) std::rethrow_exception(error);
+  if (stuck) throw std::logic_error("TaskGraph: declared accesses form a cycle");
+}
+
+}  // namespace robustify::harness

@@ -1,0 +1,34 @@
+#include "linalg/tiled.h"
+
+#include <cstdlib>
+
+#include "harness/parallel.h"
+
+namespace robustify::linalg::detail {
+
+int ResolveTileThreads(int requested) {
+  if (requested > 0) return requested;
+  // Re-read every solve (not cached): the determinism tests flip it between
+  // solves to prove results never depend on the worker count.
+  const char* env = std::getenv("ROBUSTIFY_TILE_THREADS");
+  if (env != nullptr && *env != '\0') {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return harness::ResolveThreadCount(0);
+}
+
+faulty::ContextStats SumTaskStats(const std::vector<faulty::ContextStats>& stats) {
+  faulty::ContextStats total;
+  for (const faulty::ContextStats& s : stats) {
+    total.faulty_flops += s.faulty_flops;
+    total.faults_injected += s.faults_injected;
+    total.faults_arith += s.faults_arith;
+    total.faults_compare += s.faults_compare;
+    total.faults_memory += s.faults_memory;
+    total.windows_opened += s.windows_opened;
+  }
+  return total;
+}
+
+}  // namespace robustify::linalg::detail

@@ -41,6 +41,30 @@ TEST(RateZero, CgLeastSquaresConvergesToExactSolution) {
   EXPECT_EQ(r.iterations, 40);
 }
 
+// The paper's CG iteration: G = A^T A precomputed once, one mat-vec per
+// step.  At rate 0 it must reach the same solution as the CGLS form, and
+// its flop count per trial must be lower (one n-vector mat-vec per step
+// instead of two m-vector ones) — that gap is the fig6_7 energy deviation
+// the normal_equations flag exists to close.
+TEST(RateZero, CgNormalEquationsConvergesToExactSolution) {
+  const apps::LsqProblem p = apps::MakeRandomLsqProblem(100, 10, 9);
+  core::FaultEnvironment env;
+  faulty::ContextStats ne_stats;
+  const opt::CgResult ne = core::WithFaultyFpu(
+      env, [&] { return apps::SolveLsqCg<faulty::Real>(p, apps::LsqCgNormal(40)); },
+      &ne_stats);
+  EXPECT_LT(signal::RelativeError(ne.x, p.exact), 1e-8);
+  EXPECT_EQ(ne.iterations, 40);
+  EXPECT_LT(ne.residual_norm, 1e-6);
+
+  faulty::ContextStats cgls_stats;
+  const opt::CgResult cgls = core::WithFaultyFpu(
+      env, [&] { return apps::SolveLsqCg<faulty::Real>(p, apps::LsqCg(40)); },
+      &cgls_stats);
+  EXPECT_LT(signal::RelativeError(cgls.x, ne.x), 1e-6);
+  EXPECT_LT(ne_stats.faulty_flops, cgls_stats.faulty_flops);
+}
+
 TEST(RateZero, RobustSortSortsRandomArrays) {
   core::FaultEnvironment env;
   std::mt19937_64 rng(99);
