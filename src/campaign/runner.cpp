@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "campaign/adaptive.h"
 #include "core/fault_env.h"
@@ -40,7 +41,103 @@ TrialRecord ToRecord(const harness::TrialOutcome& out, int series, int rate,
   return r;
 }
 
+// Serial in-order reduction shared by RunCampaign and ReduceRecords: the
+// accumulation order is fixed by cell order, never by execution schedule.
+CampaignResult BuildResult(const CampaignSpec& spec, const Scenario& scenario,
+                           const std::vector<std::vector<harness::TrialOutcome>>& accepted,
+                           const std::vector<CellStats>& stats) {
+  const int series_count = static_cast<int>(scenario.series.size());
+  const int rate_count = static_cast<int>(spec.fault_rates.size());
+  CampaignResult result;
+  result.cell_count = series_count * rate_count;
+  result.series.reserve(static_cast<std::size_t>(series_count));
+  result.cells.resize(static_cast<std::size_t>(series_count));
+  for (int s = 0; s < series_count; ++s) {
+    harness::Series series;
+    series.name = scenario.series[static_cast<std::size_t>(s)].name;
+    for (int r = 0; r < rate_count; ++r) {
+      const std::size_t cell = static_cast<std::size_t>(s * rate_count + r);
+      const std::vector<harness::TrialOutcome>& outcomes = accepted[cell];
+      harness::SeriesPoint point;
+      point.fault_rate = spec.fault_rates[static_cast<std::size_t>(r)];
+      point.summary = harness::SummarizeOutcomes(outcomes);
+      series.points.push_back(point);
+      result.cells[static_cast<std::size_t>(s)].push_back(stats[cell]);
+      result.total_trials += stats[cell].trials;
+      if (stats[cell].settled) ++result.settled_cells;
+      for (const harness::TrialOutcome& out : outcomes) {
+        result.faulty_flops += static_cast<double>(out.fpu_stats.faulty_flops);
+      }
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
 }  // namespace
+
+AdaptiveConfig SpecAdaptiveConfig(const CampaignSpec& spec, bool adaptive) {
+  AdaptiveConfig config;
+  if (adaptive) {
+    config.min_trials = spec.min_trials;
+    config.max_trials = spec.max_trials;
+    config.ci_half_width = spec.ci_half_width;
+  } else {
+    // Fixed budget: the stopping rule can never fire early, so every cell
+    // runs exactly spec.fixed_trials — the historical sweep behavior.
+    config.min_trials = spec.fixed_trials;
+    config.max_trials = spec.fixed_trials;
+    config.ci_half_width = 0.0;
+  }
+  return config;
+}
+
+CampaignResult ReduceRecords(const CampaignSpec& spec, const Scenario& scenario,
+                             const std::vector<TrialRecord>& records,
+                             bool adaptive) {
+  const int series_count = static_cast<int>(scenario.series.size());
+  const int rate_count = static_cast<int>(spec.fault_rates.size());
+  const int cell_count = series_count * rate_count;
+  const AdaptiveConfig config = SpecAdaptiveConfig(spec, adaptive);
+
+  // Bucket by cell, accepting the contiguous trial-index prefix (records
+  // arrive sorted from the store; a journal's per-cell order is already
+  // trial order, but sort defensively like the resume path does).
+  std::vector<std::vector<TrialRecord>> by_cell(static_cast<std::size_t>(cell_count));
+  for (const TrialRecord& r : records) {
+    if (r.series < 0 || r.series >= series_count || r.rate < 0 ||
+        r.rate >= rate_count) {
+      continue;
+    }
+    by_cell[static_cast<std::size_t>(r.series * rate_count + r.rate)].push_back(r);
+  }
+
+  std::vector<std::vector<harness::TrialOutcome>> accepted(
+      static_cast<std::size_t>(cell_count));
+  std::vector<CellStats> stats(static_cast<std::size_t>(cell_count));
+  for (int cell = 0; cell < cell_count; ++cell) {
+    std::vector<TrialRecord>& bucket = by_cell[static_cast<std::size_t>(cell)];
+    std::sort(bucket.begin(), bucket.end(),
+              [](const TrialRecord& a, const TrialRecord& b) {
+                return a.trial < b.trial;
+              });
+    CellController controller(config);
+    for (const TrialRecord& r : bucket) {
+      if (controller.done()) break;
+      if (r.trial != controller.next_trial()) break;  // gap: drop the rest
+      controller.Record(r.success);
+      accepted[static_cast<std::size_t>(cell)].push_back(ToOutcome(r));
+    }
+    CellStats& cs = stats[static_cast<std::size_t>(cell)];
+    cs.trials = controller.trials();
+    cs.settled = controller.settled();
+  }
+
+  CampaignResult result = BuildResult(spec, scenario, accepted, stats);
+  result.budget_trials = static_cast<long>(config.max_trials) * cell_count;
+  result.resumed_trials = result.total_trials;  // everything came from records
+  return result;
+}
 
 CampaignResult RunCampaign(const CampaignSpec& spec, const Scenario& scenario,
                            const RunnerOptions& options) {
@@ -50,18 +147,21 @@ CampaignResult RunCampaign(const CampaignSpec& spec, const Scenario& scenario,
   const int cell_count = series_count * rate_count;
   const int batch = std::max(1, spec.batch);
 
-  AdaptiveConfig adaptive;
-  if (options.adaptive) {
-    adaptive.min_trials = spec.min_trials;
-    adaptive.max_trials = spec.max_trials;
-    adaptive.ci_half_width = spec.ci_half_width;
-  } else {
-    // Fixed budget: the stopping rule can never fire early, so every cell
-    // runs exactly spec.fixed_trials — the historical sweep behavior.
-    adaptive.min_trials = spec.fixed_trials;
-    adaptive.max_trials = spec.fixed_trials;
-    adaptive.ci_half_width = 0.0;
+  if (spec.shard_count < 1 || spec.shard_index < 0 ||
+      spec.shard_index >= spec.shard_count) {
+    throw std::runtime_error("invalid shard selection " +
+                             std::to_string(spec.shard_index) + "/" +
+                             std::to_string(spec.shard_count));
   }
+  const auto owns = [&](int cell) {
+    return cell % spec.shard_count == spec.shard_index;
+  };
+  int owned_cells = 0;
+  for (int cell = 0; cell < cell_count; ++cell) {
+    if (owns(cell)) ++owned_cells;
+  }
+
+  const AdaptiveConfig adaptive = SpecAdaptiveConfig(spec, options.adaptive);
 
   // Per-cell accepted outcomes, in trial order.  Workers write disjoint
   // cells; the reduction below reads them serially in cell order.
@@ -96,6 +196,7 @@ CampaignResult RunCampaign(const CampaignSpec& spec, const Scenario& scenario,
         }
         const std::size_t cell =
             static_cast<std::size_t>(r.series * rate_count + r.rate);
+        if (!owns(static_cast<int>(cell))) continue;  // re-sharded journal
         if (r.trial == static_cast<int>(accepted[cell].size())) {
           accepted[cell].push_back(ToOutcome(r));
           ++resumed_trials;
@@ -122,8 +223,9 @@ CampaignResult RunCampaign(const CampaignSpec& spec, const Scenario& scenario,
   }
 
   // ---- the cell grid, dynamically claimed -----------------------------------
-  telemetry::ProgressBegin("campaign", cell_count);
+  telemetry::ProgressBegin("campaign", owned_cells);
   harness::ParallelFor(cell_count, options.threads, [&](int cell) {
+    if (!owns(cell)) return;  // another shard's cell — not even journaled
     telemetry::SpanScope cell_span("cell");
     const int s = cell / rate_count;
     const int r = cell % rate_count;
@@ -196,31 +298,9 @@ CampaignResult RunCampaign(const CampaignSpec& spec, const Scenario& scenario,
   telemetry::ProgressEnd();
 
   // ---- serial in-order reduction --------------------------------------------
-  CampaignResult result;
-  result.cell_count = cell_count;
-  result.budget_trials = static_cast<long>(adaptive.max_trials) * cell_count;
+  CampaignResult result = BuildResult(spec, scenario, accepted, stats);
+  result.budget_trials = static_cast<long>(adaptive.max_trials) * owned_cells;
   result.resumed_trials = resumed_trials;
-  result.series.reserve(static_cast<std::size_t>(series_count));
-  result.cells.resize(static_cast<std::size_t>(series_count));
-  for (int s = 0; s < series_count; ++s) {
-    harness::Series series;
-    series.name = scenario.series[static_cast<std::size_t>(s)].name;
-    for (int r = 0; r < rate_count; ++r) {
-      const std::size_t cell = static_cast<std::size_t>(s * rate_count + r);
-      const std::vector<harness::TrialOutcome>& outcomes = accepted[cell];
-      harness::SeriesPoint point;
-      point.fault_rate = spec.fault_rates[static_cast<std::size_t>(r)];
-      point.summary = harness::SummarizeOutcomes(outcomes);
-      series.points.push_back(point);
-      result.cells[static_cast<std::size_t>(s)].push_back(stats[cell]);
-      result.total_trials += stats[cell].trials;
-      if (stats[cell].settled) ++result.settled_cells;
-      for (const harness::TrialOutcome& out : outcomes) {
-        result.faulty_flops += static_cast<double>(out.fpu_stats.faulty_flops);
-      }
-    }
-    result.series.push_back(std::move(series));
-  }
   return result;
 }
 

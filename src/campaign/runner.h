@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/adaptive.h"
 #include "campaign/checkpoint.h"
 #include "campaign/scenarios.h"
 #include "campaign/spec.h"
@@ -50,7 +51,31 @@ struct CampaignResult {
 // Runs (or resumes) the campaign described by `spec` over `scenario`.
 // Throws std::runtime_error on journal problems, including resuming against
 // a journal whose fingerprint does not match the spec.
+//
+// Sharding: when spec.shard_count > 1, only the cells with grid index
+// congruent to spec.shard_index (mod shard_count) are executed and
+// journaled; every other cell stays empty in the result.  Per-cell seeding
+// makes the owned cells' records identical to the same cells of an
+// unsharded run, so N shard journals merge (store/result_store.h) into
+// exactly the unsharded record set.
 CampaignResult RunCampaign(const CampaignSpec& spec, const Scenario& scenario,
                            const RunnerOptions& options);
+
+// The stopping-rule configuration RunCampaign derives from a spec — shared
+// with ReduceRecords and the query service so every consumer of stored
+// records replays them under the same rule the runner journaled them under.
+AdaptiveConfig SpecAdaptiveConfig(const CampaignSpec& spec, bool adaptive);
+
+// Reduces already-recorded trials (a merged store's records, a journal) to
+// a CampaignResult without running anything: per cell, the contiguous
+// trial-index prefix is replayed through the stopping rule — exactly the
+// resume path — and the reduction runs serially in cell order.  Records
+// beyond a cell's deterministic stopping point are ignored (a store cell
+// extended by a tighter-CI query still reduces to the campaign's own
+// answer), so a store merged from N complete shard runs reduces to a CSV
+// byte-identical to the single-process run of the same spec.
+CampaignResult ReduceRecords(const CampaignSpec& spec, const Scenario& scenario,
+                             const std::vector<TrialRecord>& records,
+                             bool adaptive);
 
 }  // namespace robustify::campaign

@@ -123,6 +123,14 @@ CampaignSpec ParseSpec(std::istream& is) {
       spec.base_seed = static_cast<std::uint64_t>(ParseLong(line_no, key, value));
     } else if (key == "bit_model") {
       spec.bit_model = ParseBitModel(line_no, value);
+    } else if (key == "shard") {
+      try {
+        const std::pair<int, int> shard = ParseShard(value);
+        spec.shard_index = shard.first;
+        spec.shard_count = shard.second;
+      } catch (const std::runtime_error& e) {
+        Fail(line_no, e.what());
+      }
     } else if (key == "model") {
       const faulty::Temporal temporal = faulty::ParseTemporal(value);
       if (temporal == faulty::Temporal::kAuto) {
@@ -201,6 +209,32 @@ std::vector<double> ParseRateAxis(const std::string& text) {
   return ParseRateList(0, text);
 }
 
+std::pair<int, int> ParseShard(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    throw std::runtime_error("malformed shard '" + text + "' (expected i/N)");
+  }
+  const auto parse_part = [&](const std::string& part) {
+    char* end = nullptr;
+    const long parsed = std::strtol(part.c_str(), &end, 10);
+    if (part.empty() || end == part.c_str() || *end != '\0') {
+      throw std::runtime_error("malformed shard '" + text + "' (expected i/N)");
+    }
+    return parsed;
+  };
+  const long index = parse_part(text.substr(0, slash));
+  const long count = parse_part(text.substr(slash + 1));
+  if (count < 1) {
+    throw std::runtime_error("shard '" + text + "': N must be >= 1");
+  }
+  if (index < 0 || index >= count) {
+    throw std::runtime_error("shard '" + text +
+                             "': index must be in [0, N) — this shard would own "
+                             "zero cells");
+  }
+  return {static_cast<int>(index), static_cast<int>(count)};
+}
+
 std::string FormatSpec(const CampaignSpec& spec) {
   std::ostringstream os;
   os << "name = " << spec.name << "\n";
@@ -219,6 +253,9 @@ std::string FormatSpec(const CampaignSpec& spec) {
   os << "ci = " << FormatRate(spec.ci_half_width) << "\n";
   os << "seed = " << spec.base_seed << "\n";
   os << "bit_model = " << BitModelName(spec.bit_model) << "\n";
+  if (spec.shard_count != 1) {
+    os << "shard = " << spec.shard_index << "/" << spec.shard_count << "\n";
+  }
   // Model and guard keys are emitted only when non-default: pre-model specs
   // keep their historical canonical form, so their fingerprints — and every
   // journal recorded against them — stay valid.
@@ -251,14 +288,34 @@ std::string FormatSpec(const CampaignSpec& spec) {
   return os.str();
 }
 
-std::uint64_t SpecFingerprint(const CampaignSpec& spec) {
-  // Canonical form minus the knobs that provably cannot change journaled
-  // tallies: batch size only schedules speculation (accepted outcomes are
-  // invariant to it — campaign/adaptive.h), so hashing it would make
-  // resume reject journals it could continue byte-identically.
+std::string CanonicalSpecText(const CampaignSpec& spec) {
+  // Canonical form minus every knob that provably cannot change a journaled
+  // outcome: trial t of a cell always runs at seed base_seed + t, so the
+  // per-cell outcome *sequence* is a pure function of the scenario, series
+  // subset, rate axis, seed, bit model, fault model, and guard.  Batch size
+  // only schedules speculation, sharding only selects which cells this
+  // process runs, and the trial-allocation knobs (fixed trials, adaptive
+  // budget/floor/ci target) only decide how far along each cell's sequence
+  // sampling stops — every run of the campaign journals a *prefix* of the
+  // same sequences.  Hashing any of them would make resume reject journals
+  // it could continue byte-identically, keep one campaign's shard journals
+  // from merging into one store key, and fragment the result store into a
+  // key per precision target instead of one cache the query service can
+  // serve at any requested ci.
   CampaignSpec canonical = spec;
-  canonical.batch = 1;
-  const std::string text = FormatSpec(canonical);
+  const CampaignSpec defaults;
+  canonical.batch = defaults.batch;
+  canonical.shard_index = defaults.shard_index;
+  canonical.shard_count = defaults.shard_count;
+  canonical.fixed_trials = defaults.fixed_trials;
+  canonical.min_trials = defaults.min_trials;
+  canonical.max_trials = defaults.max_trials;
+  canonical.ci_half_width = defaults.ci_half_width;
+  return FormatSpec(canonical);
+}
+
+std::uint64_t SpecFingerprint(const CampaignSpec& spec) {
+  const std::string text = CanonicalSpecText(spec);
   std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
   for (const char c : text) {
     hash ^= static_cast<unsigned char>(c);

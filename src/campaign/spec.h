@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/guard.h"
@@ -54,6 +55,17 @@ struct CampaignSpec {
   std::uint64_t base_seed = 1;
   faulty::BitModel bit_model = faulty::BitModel::kBimodal;
 
+  // Shard selection: this process owns the cells whose grid index is
+  // congruent to shard_index mod shard_count.  Cells are location-
+  // independent (per-cell seeding), so N shard runs of the same spec
+  // produce, cell for cell, exactly the records one unsharded run would —
+  // their journals merge into the result store (store/result_store.h) and
+  // reduce to a byte-identical CSV.  Like batch, sharding schedules work
+  // without changing any accepted tally, so it is canonicalized away by
+  // SpecFingerprint: every shard of a campaign shares one fingerprint.
+  int shard_index = 0;
+  int shard_count = 1;
+
   // Fault-model axis (faulty/fault_model.h): temporal behavior, op-class
   // mask, and the per-model law parameters.  The default (kAuto temporal,
   // arith+cmp classes) reproduces the historical transient injector; specs
@@ -77,7 +89,7 @@ struct CampaignSpec {
 // line (names contain commas, e.g. "SGD+AS,LS", so no list syntax).  Keys:
 //   name, app, rates (comma-separated), trials (fixed budget),
 //   budget (adaptive cap), min_trials, batch, ci (half-width fraction),
-//   seed, bit_model (bimodal|uniform|msb|lsb), series,
+//   seed, bit_model (bimodal|uniform|msb|lsb), series, shard (i/N),
 //   model (transient|stuck|burst|intermittent),
 //   op_classes (comma-joined arith|cmp|mem subset),
 //   stuck_mean / burst_width / window_mean / window_rate (model params),
@@ -94,12 +106,29 @@ CampaignSpec ParseSpecFile(const std::string& path);
 // std::runtime_error on malformed or empty input.
 std::vector<double> ParseRateAxis(const std::string& text);
 
+// The "i/N" shard selector parser, shared between the spec format's `shard`
+// key and the CLI's --shard flag.  Throws std::runtime_error on malformed
+// input, N == 0, or i >= N — a shard that silently owned zero cells would
+// look like a completed (empty) campaign.
+std::pair<int, int> ParseShard(const std::string& text);
+
 // Canonical round-trip text form (ParseSpec(FormatSpec(s)) == s).
 std::string FormatSpec(const CampaignSpec& spec);
 
+// FormatSpec with the scheduling and trial-allocation knobs (batch, shard,
+// fixed trials, adaptive budget/floor/ci target) reset to their defaults:
+// the text whose FNV hash is the fingerprint, and the spec.txt a result
+// store directory carries so its key is self-describing.
+std::string CanonicalSpecText(const CampaignSpec& spec);
+
 // FNV-1a of the canonical form: the checkpoint journal stores it so a
 // resume with a mismatched spec is rejected instead of silently merging
-// incompatible tallies.
+// incompatible tallies.  The fingerprint identifies the campaign's
+// deterministic per-cell outcome *sequences* (scenario, series, rates,
+// seed, bit model, fault model, guard) — not how far they were sampled:
+// batch, shard, and the trial-allocation knobs are canonicalized away, so
+// shard journals merge under one store key and the query service can
+// extend a stored cell at any requested precision.
 std::uint64_t SpecFingerprint(const CampaignSpec& spec);
 
 // ---- registry ---------------------------------------------------------------

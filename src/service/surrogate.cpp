@@ -1,0 +1,77 @@
+#include "service/surrogate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "campaign/adaptive.h"
+
+namespace robustify::service {
+
+double CliffSurrogate::Predict(double rate) const {
+  const double logit = intercept + slope * std::log(rate);
+  return 1.0 / (1.0 + std::exp(-logit));
+}
+
+bool CliffSurrogate::InSupport(double rate) const {
+  return valid && rate >= rate_min && rate <= rate_max;
+}
+
+double CliffSurrogate::HalfWidthAt(double rate) const {
+  const double x = std::log(rate);
+  double best = std::numeric_limits<double>::infinity();
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const Support& s : support) {
+    const double dist = std::abs(s.log_rate - x);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = s.half_width;
+    }
+  }
+  return best;
+}
+
+CliffSurrogate FitCliffSurrogate(const std::vector<CellTally>& cells) {
+  CliffSurrogate fit;
+  constexpr double z = 1.959963984540054;  // match WilsonHalfWidth
+  constexpr double z2 = z * z;
+
+  double sw = 0.0, swx = 0.0, swy = 0.0, swxx = 0.0, swxy = 0.0;
+  int points = 0;
+  for (const CellTally& cell : cells) {
+    if (cell.rate <= 0.0 || cell.trials <= 0) continue;
+    const double n = static_cast<double>(cell.trials);
+    const double center =
+        (static_cast<double>(cell.successes) + z2 / 2.0) / (n + z2);
+    const double x = std::log(cell.rate);
+    const double y = std::log(center / (1.0 - center));
+    const double w = n * center * (1.0 - center);
+    sw += w;
+    swx += w * x;
+    swy += w * y;
+    swxx += w * x * x;
+    swxy += w * x * y;
+    ++points;
+
+    CliffSurrogate::Support support;
+    support.log_rate = x;
+    support.half_width = campaign::WilsonHalfWidth(cell.successes, cell.trials);
+    fit.support.push_back(support);
+    fit.rate_min = (points == 1) ? cell.rate : std::min(fit.rate_min, cell.rate);
+    fit.rate_max = (points == 1) ? cell.rate : std::max(fit.rate_max, cell.rate);
+  }
+
+  const double det = sw * swxx - swx * swx;
+  // Scale-aware degeneracy check: det of a Gram matrix is nonnegative up to
+  // roundoff, and collinear points drive it to ~0 relative to its terms.
+  if (points < 3 || det <= 1e-12 * std::max(sw * swxx, swx * swx)) {
+    fit.support.clear();
+    return fit;
+  }
+  fit.slope = (sw * swxy - swx * swy) / det;
+  fit.intercept = (swxx * swy - swx * swxy) / det;
+  fit.valid = true;
+  return fit;
+}
+
+}  // namespace robustify::service

@@ -1,0 +1,67 @@
+// Logistic cliff surrogate: a closed-form fit of the success-rate-vs-rate
+// curve of one (series, model) campaign slice, so off-grid rate lookups
+// cost nothing once the grid cells are stored.
+//
+// The paper's curves share one shape: success probability near 1 at low
+// fault rates, a cliff, then near 0 — a logistic in log(rate).  The fit is
+// weighted linear regression in logit space:
+//
+//   logit(p) ≈ a + b·log(rate)
+//
+// over the stored cells with rate > 0 and trials > 0, where each cell
+// contributes the *Wilson center* p̃ = (s + z²/2)/(n + z²) rather than the
+// raw fraction s/n.  The Wilson center is strictly interior to (0, 1), so
+// the all-success and all-failure cells that dominate a cliff curve map to
+// finite logits (raw fractions would put them at ±inf — the perfect-
+// separation failure of plain logistic regression) with a shrinkage that
+// matches exactly the interval the query service already reports.  Weights
+// n·p̃(1−p̃) are the usual inverse-variance weights for a logit transform.
+//
+// The fit is deterministic (a 2×2 normal-equation solve, no iteration) and
+// refuses to extrapolate: Predict is only meaningful inside the fitted
+// rate support, and the reported half-width is the Wilson half-width of
+// the nearest support cell in log-rate — honest in the sense that the
+// surrogate can never claim tighter precision than the data under it.
+#pragma once
+
+#include <vector>
+
+namespace robustify::service {
+
+// One stored grid cell, as the surrogate consumes it.
+struct CellTally {
+  double rate = 0.0;
+  int successes = 0;
+  int trials = 0;
+};
+
+struct CliffSurrogate {
+  bool valid = false;     // >= 3 usable cells and a well-conditioned solve
+  double intercept = 0.0; // a: logit(p) at log(rate) = 0
+  double slope = 0.0;     // b: logits per log-rate decade-e
+  double rate_min = 0.0;  // fitted support (smallest / largest rate > 0)
+  double rate_max = 0.0;
+
+  struct Support {
+    double log_rate = 0.0;
+    double half_width = 0.0;  // Wilson half-width of the cell's tally
+  };
+  std::vector<Support> support;
+
+  // Predicted success fraction at `rate` (valid && rate > 0 required).
+  double Predict(double rate) const;
+
+  // True when `rate` lies inside [rate_min, rate_max].
+  bool InSupport(double rate) const;
+
+  // Wilson half-width of the nearest support cell in log-rate: the
+  // precision the surrogate is allowed to claim at `rate`.
+  double HalfWidthAt(double rate) const;
+};
+
+// Fits the surrogate over `cells` (cells with rate <= 0 or trials == 0 are
+// ignored).  Returns valid == false when fewer than three cells remain or
+// the normal equations are degenerate (e.g. all cells at one rate).
+CliffSurrogate FitCliffSurrogate(const std::vector<CellTally>& cells);
+
+}  // namespace robustify::service

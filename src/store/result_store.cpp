@@ -1,0 +1,155 @@
+#include "store/result_store.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/telemetry.h"
+
+namespace robustify::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using campaign::CampaignJournal;
+using campaign::CampaignSpec;
+using campaign::TrialRecord;
+
+using CellKey = std::pair<int, int>;  // (series, rate)
+
+std::string FingerprintHex(std::uint64_t fingerprint) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, fingerprint);
+  return std::string(buf);
+}
+
+// Buckets records per cell and normalizes each bucket to the contiguous
+// trial-index prefix from 0 — the only shape a valid journal can produce,
+// and the shape the prefix-wins merge below relies on.  std::map keys give
+// deterministic (series, rate) iteration order for the rewrite.
+std::map<CellKey, std::vector<TrialRecord>> Normalize(
+    const std::vector<TrialRecord>& records) {
+  std::map<CellKey, std::vector<TrialRecord>> cells;
+  for (const TrialRecord& r : records) {
+    if (r.series < 0 || r.rate < 0 || r.trial < 0) continue;
+    cells[{r.series, r.rate}].push_back(r);
+  }
+  for (auto& [key, bucket] : cells) {
+    std::sort(bucket.begin(), bucket.end(),
+              [](const TrialRecord& a, const TrialRecord& b) {
+                return a.trial < b.trial;
+              });
+    std::size_t keep = 0;
+    while (keep < bucket.size() &&
+           bucket[keep].trial == static_cast<int>(keep)) {
+      ++keep;
+    }
+    bucket.resize(keep);
+  }
+  return cells;
+}
+
+std::string JournalPath(const std::string& dir) { return dir + "/cells.journal"; }
+
+}  // namespace
+
+std::string ResultStore::CampaignDir(const CampaignSpec& spec) const {
+  return root_ + "/" + FingerprintHex(campaign::SpecFingerprint(spec));
+}
+
+StoredCells ResultStore::Load(const CampaignSpec& spec) const {
+  StoredCells stored;
+  const std::uint64_t fingerprint = campaign::SpecFingerprint(spec);
+  CampaignJournal::Loaded loaded =
+      CampaignJournal::Load(JournalPath(CampaignDir(spec)));
+  if (!loaded.exists) return stored;
+  if (loaded.fingerprint != fingerprint) {
+    throw std::runtime_error(
+        "result store corrupt: " + JournalPath(CampaignDir(spec)) +
+        " carries fingerprint " + FingerprintHex(loaded.fingerprint) +
+        " but is filed under " + FingerprintHex(fingerprint));
+  }
+  stored.exists = true;
+  std::map<CellKey, std::vector<TrialRecord>> cells = Normalize(loaded.records);
+  for (auto& [key, bucket] : cells) {
+    stored.records.insert(stored.records.end(), bucket.begin(), bucket.end());
+  }
+  return stored;
+}
+
+ResultStore::IngestStats ResultStore::IngestRecords(
+    const CampaignSpec& spec, const std::vector<TrialRecord>& records) {
+  const std::uint64_t fingerprint = campaign::SpecFingerprint(spec);
+  const std::string dir = CampaignDir(spec);
+
+  std::map<CellKey, std::vector<TrialRecord>> merged;
+  {
+    CampaignJournal::Loaded existing = CampaignJournal::Load(JournalPath(dir));
+    if (existing.exists && existing.fingerprint != fingerprint) {
+      throw std::runtime_error(
+          "result store corrupt: " + JournalPath(dir) +
+          " carries fingerprint " + FingerprintHex(existing.fingerprint) +
+          " but is filed under " + FingerprintHex(fingerprint));
+    }
+    merged = Normalize(existing.records);
+  }
+
+  IngestStats stats;
+  std::map<CellKey, std::vector<TrialRecord>> incoming = Normalize(records);
+  for (auto& [key, bucket] : incoming) {
+    std::vector<TrialRecord>& current = merged[key];
+    if (bucket.size() > current.size()) {
+      stats.records_added +=
+          static_cast<long>(bucket.size() - current.size());
+      ++stats.cells_updated;
+      current = std::move(bucket);
+    }
+  }
+  if (stats.cells_updated == 0) return stats;  // idempotent re-ingest: no I/O
+
+  fs::create_directories(dir);
+  {
+    std::ofstream spec_out(dir + "/spec.txt", std::ios::trunc);
+    spec_out << campaign::CanonicalSpecText(spec);
+  }
+  // Rewrite the whole journal on a tmp path, then rename into place: readers
+  // never observe a partially merged store.
+  const std::string tmp = JournalPath(dir) + ".tmp";
+  {
+    CampaignJournal journal(tmp);
+    journal.Start(fingerprint);
+    for (const auto& [key, bucket] : merged) {
+      journal.Append(bucket.data(), bucket.size());
+    }
+  }
+  fs::rename(tmp, JournalPath(dir));
+
+  telemetry::Count(telemetry::Counter::kStoreIngestedCells,
+                   static_cast<std::uint64_t>(stats.cells_updated));
+  return stats;
+}
+
+ResultStore::IngestStats ResultStore::IngestJournal(const CampaignSpec& spec,
+                                                    const std::string& path) {
+  CampaignJournal::Loaded loaded = CampaignJournal::Load(path);
+  if (!loaded.exists) {
+    throw std::runtime_error("cannot ingest: no readable journal at " + path);
+  }
+  const std::uint64_t fingerprint = campaign::SpecFingerprint(spec);
+  if (loaded.fingerprint != fingerprint) {
+    throw std::runtime_error(
+        "cannot ingest " + path + ": journal fingerprint " +
+        FingerprintHex(loaded.fingerprint) + " does not match spec " +
+        FingerprintHex(fingerprint) +
+        " (different campaign — merging would mix incompatible tallies)");
+  }
+  return IngestRecords(spec, loaded.records);
+}
+
+}  // namespace robustify::store

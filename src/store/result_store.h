@@ -1,0 +1,78 @@
+// Content-addressed campaign result store.
+//
+// The store is a directory of per-campaign sub-directories keyed by spec
+// fingerprint (campaign/spec.h): `<root>/<%016x fingerprint>/` holds
+// `cells.journal` — every accepted trial of the campaign, in the standard
+// checkpoint journal format (campaign/checkpoint.h), sorted by
+// (series, rate, trial) with each cell a contiguous trial-index prefix —
+// plus `spec.txt`, the canonical spec text the fingerprint hashes, so a
+// store directory is self-describing.
+//
+// Content addressing is what makes merging trivial: per-cell seeding makes
+// a cell's outcome sequence a pure function of the canonical spec, so two
+// journals with the same fingerprint can only hold *prefixes of the same
+// sequence* per cell.  Merge therefore reduces to "longest contiguous
+// prefix wins" — duplicate cells from overlapping shard runs resolve
+// deterministically (higher trial count wins), re-ingesting a journal is a
+// no-op, and a cell extended by a tighter-CI query subsumes the original.
+// Ingesting a journal whose fingerprint does not match the target spec is
+// rejected outright.
+//
+// Writes are atomic: the merged journal lands on `cells.journal.tmp` and is
+// renamed into place, so a crash mid-ingest leaves the previous store state
+// intact (and CampaignJournal::Load tolerates a torn tail in the *incoming*
+// journal — the torn line and anything after it are dropped, never merged).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/checkpoint.h"
+#include "campaign/spec.h"
+
+namespace robustify::store {
+
+struct StoredCells {
+  bool exists = false;  // the campaign has a directory with a readable journal
+  // Sorted by (series, rate, trial); every cell a contiguous prefix from 0.
+  std::vector<campaign::TrialRecord> records;
+};
+
+class ResultStore {
+ public:
+  explicit ResultStore(std::string root) : root_(std::move(root)) {}
+
+  const std::string& root() const { return root_; }
+
+  // `<root>/<%016x>` for the spec's fingerprint.
+  std::string CampaignDir(const campaign::CampaignSpec& spec) const;
+
+  // Reads the campaign's stored records (normalized: sorted, contiguous
+  // prefixes).  exists == false when the campaign has no stored journal.
+  StoredCells Load(const campaign::CampaignSpec& spec) const;
+
+  struct IngestStats {
+    int cells_updated = 0;   // cells that gained at least one record
+    long records_added = 0;  // net new records across those cells
+  };
+
+  // Merges `records` into the campaign's store entry: per cell, the longer
+  // contiguous trial-index prefix of {stored, incoming} wins.  Incoming
+  // records that are not a contiguous prefix from trial 0 are truncated at
+  // the first gap (they could not have come from a valid journal).  Creates
+  // the campaign directory (and spec.txt) on first ingest.  Idempotent.
+  IngestStats IngestRecords(const campaign::CampaignSpec& spec,
+                            const std::vector<campaign::TrialRecord>& records);
+
+  // Loads the journal at `path` (tolerating a torn tail), validates its
+  // fingerprint against the spec, and ingests its records.  Throws
+  // std::runtime_error when the journal is unreadable or was written by a
+  // different spec.
+  IngestStats IngestJournal(const campaign::CampaignSpec& spec,
+                            const std::string& path);
+
+ private:
+  std::string root_;
+};
+
+}  // namespace robustify::store

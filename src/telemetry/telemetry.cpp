@@ -34,6 +34,10 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "injector.windows",
     "trials.diverged",
     "trials.budget_exhausted",
+    "store.hits",
+    "store.misses",
+    "store.fresh_trials",
+    "store.ingested_cells",
 };
 
 constexpr const char* kHistogramNames[kNumHistograms] = {

@@ -66,6 +66,10 @@ enum class Counter : int {
   kInjectorWindows,      // stuck/intermittent windows opened
   kTrialsDiverged,       // trials ended by the non-finite bailout guard
   kTrialsBudgetExhausted,// trials ended by a flop/iteration budget cap
+  kStoreHits,            // queries answered from a cached cell tally
+  kStoreMisses,          // queries whose cell missed the precision request
+  kStoreFreshTrials,     // trials executed to answer store misses
+  kStoreIngestedCells,   // store cells created or extended by an ingest
   kCount
 };
 

@@ -72,7 +72,7 @@ TEST(CampaignSpec, ParseRateAxisSharedWithCli) {
   EXPECT_THROW(campaign::ParseRateAxis("0.1,x"), std::runtime_error);
 }
 
-TEST(CampaignSpec, FingerprintSeesEveryField) {
+TEST(CampaignSpec, FingerprintSeesEveryOutcomeField) {
   const campaign::CampaignSpec base = SampleSpec();
   campaign::CampaignSpec changed = base;
   changed.fault_rates.push_back(0.5);
@@ -81,8 +81,60 @@ TEST(CampaignSpec, FingerprintSeesEveryField) {
   changed.base_seed += 1;
   EXPECT_NE(campaign::SpecFingerprint(base), campaign::SpecFingerprint(changed));
   changed = base;
-  changed.ci_half_width = 0.0801;
+  changed.series = {"Base"};
   EXPECT_NE(campaign::SpecFingerprint(base), campaign::SpecFingerprint(changed));
+  changed = base;
+  changed.guard.max_flops = 12345;
+  EXPECT_NE(campaign::SpecFingerprint(base), campaign::SpecFingerprint(changed));
+}
+
+// Trial allocation decides how far each cell's deterministic outcome
+// sequence gets sampled, never what the outcomes are — every run journals
+// a prefix of the same sequences — so none of the allocation knobs may
+// fragment the fingerprint (store cells cached at one ci must serve
+// queries at another).
+TEST(CampaignSpec, FingerprintIgnoresTrialAllocation) {
+  const campaign::CampaignSpec base = SampleSpec();
+  campaign::CampaignSpec changed = base;
+  changed.ci_half_width = 0.0801;
+  changed.min_trials += 3;
+  changed.max_trials += 50;
+  changed.fixed_trials += 2;
+  EXPECT_EQ(campaign::SpecFingerprint(base), campaign::SpecFingerprint(changed));
+}
+
+TEST(CampaignSpec, FingerprintIgnoresShard) {
+  const campaign::CampaignSpec base = SampleSpec();
+  campaign::CampaignSpec changed = base;
+  changed.shard_index = 2;
+  changed.shard_count = 5;
+  EXPECT_EQ(campaign::SpecFingerprint(base), campaign::SpecFingerprint(changed));
+}
+
+TEST(CampaignSpec, ShardRoundTripsThroughSpecText) {
+  campaign::CampaignSpec spec = SampleSpec();
+  spec.shard_index = 1;
+  spec.shard_count = 3;
+  const std::string text = campaign::FormatSpec(spec);
+  EXPECT_NE(text.find("shard = 1/3"), std::string::npos);
+  std::istringstream is(text);
+  const campaign::CampaignSpec parsed = campaign::ParseSpec(is);
+  EXPECT_EQ(parsed.shard_index, 1);
+  EXPECT_EQ(parsed.shard_count, 3);
+}
+
+TEST(CampaignSpec, ParseShardRejectsMalformedSelections) {
+  EXPECT_EQ(campaign::ParseShard("0/1"), (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(campaign::ParseShard("2/3"), (std::pair<int, int>{2, 3}));
+  // i >= N or N == 0 would silently own zero cells — must be loud.
+  EXPECT_THROW(campaign::ParseShard("3/3"), std::runtime_error);
+  EXPECT_THROW(campaign::ParseShard("0/0"), std::runtime_error);
+  EXPECT_THROW(campaign::ParseShard("-1/3"), std::runtime_error);
+  EXPECT_THROW(campaign::ParseShard("x/2"), std::runtime_error);
+  EXPECT_THROW(campaign::ParseShard("1"), std::runtime_error);
+  EXPECT_THROW(campaign::ParseShard("1/"), std::runtime_error);
+  EXPECT_THROW(campaign::ParseShard("/3"), std::runtime_error);
+  EXPECT_THROW(campaign::ParseShard(""), std::runtime_error);
 }
 
 TEST(CampaignSpec, ParseRejectsMalformedInput) {
@@ -96,6 +148,15 @@ TEST(CampaignSpec, ParseRejectsMalformedInput) {
                std::runtime_error);
   EXPECT_THROW(parse("app = fig6_1\nrates = 0,zzz\n"), std::runtime_error);
   EXPECT_THROW(parse("app = fig6_1\nrates = 0\nmin_trials = 9\nbudget = 3\n"),
+               std::runtime_error);
+  // Shard selections that would own zero cells, and malformed i/N strings.
+  EXPECT_THROW(parse("app = fig6_1\nrates = 0\nshard = 3/3\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("app = fig6_1\nrates = 0\nshard = 0/0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("app = fig6_1\nrates = 0\nshard = x/2\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("app = fig6_1\nrates = 0\nshard = 1\n"),
                std::runtime_error);
 }
 

@@ -14,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <random>
 #include <sstream>
@@ -30,6 +32,8 @@
 #include "harness/parallel.h"
 #include "harness/sweep.h"
 #include "linalg/scalar.h"
+#include "service/query_service.h"
+#include "store/result_store.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -270,10 +274,102 @@ TEST(Telemetry, RegistryMergesRetiredWorkerShards) {
             static_cast<std::uint64_t>(kUnits) * 3u);
 }
 
+// The result-store counters obey the same contracts as the rest: every one
+// of store.{hits,misses,fresh_trials,ingested_cells} fires on the
+// run → ingest → query pipeline, and the totals are identical whether the
+// store-filling campaign ran on 1 worker or 8 (fresh query trials are
+// serial on the calling thread; the campaign is the only fanned-out stage).
+TEST(Telemetry, StoreCountersNonzeroAndThreadCountInvariant) {
+  telemetry::SetCountersEnabled(true);
+  const auto trial = [](const core::FaultEnvironment& env) {
+    std::uint64_t h = env.seed * 0x9E3779B97F4A7C15ull;
+    std::uint64_t rate_bits = 0;
+    std::memcpy(&rate_bits, &env.fault_rate, sizeof(rate_bits));
+    h ^= rate_bits + 0xBF58476D1CE4E5B9ull + (h << 6) + (h >> 2);
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 31;
+    harness::TrialOutcome out;
+    out.success = static_cast<double>(h >> 11) * 0x1.0p-53 > env.fault_rate;
+    out.metric = 0.0;
+    return out;
+  };
+  const auto run = [&](int threads) {
+    const std::string base = ::testing::TempDir() + "/robustify_store_counters_t" +
+                             std::to_string(threads);
+    std::filesystem::remove_all(base);
+    campaign::CampaignSpec spec;
+    spec.name = spec.app = "store_counters";
+    spec.fault_rates = {0.2, 0.45, 0.7};
+    spec.min_trials = 4;
+    spec.max_trials = 12;
+    spec.ci_half_width = 0.3;
+    spec.base_seed = 4242;
+    campaign::Scenario scenario;
+    scenario.app = "store_counters";
+    scenario.series = {{"A", trial}, {"B", trial}};
+
+    telemetry::ResetCounters();
+    campaign::RunnerOptions options;
+    options.threads = threads;
+    options.journal_path = base + ".journal";
+    campaign::RunCampaign(spec, scenario, options);
+
+    store::ResultStore result_store(base + ".store");
+    result_store.IngestJournal(spec, base + ".journal");
+
+    service::QueryService service_engine(&result_store);
+    service_engine.RegisterSpec(spec, scenario);
+    service::Query query;
+    query.app = "store_counters";
+    query.series = "A";
+    query.rate = 0.45;
+    query.ci = 0.4;  // looser than stored — a hit
+    EXPECT_EQ(service_engine.Handle(query).source, "cache");
+    query.ci = 0.18;  // tighter than stored — miss, fresh trials, write-back
+    const service::Answer fresh = service_engine.Handle(query);
+    EXPECT_EQ(fresh.source, "fresh-trials");
+    EXPECT_GT(fresh.fresh_trials, 0);
+    // Repeat at the same ci: served from the extended cell, zero trials.
+    const service::Answer repeat = service_engine.Handle(query);
+    EXPECT_EQ(repeat.source, "cache");
+    EXPECT_EQ(repeat.fresh_trials, 0);
+    EXPECT_EQ(repeat.success_rate, fresh.success_rate);
+    EXPECT_EQ(repeat.half_width, fresh.half_width);
+
+    const telemetry::CounterSnapshot snap = telemetry::SnapshotCounters();
+    std::filesystem::remove_all(base + ".store");
+    std::filesystem::remove((base + ".journal").c_str());
+    return snap;
+  };
+
+  const telemetry::CounterSnapshot one = run(1);
+  const telemetry::CounterSnapshot eight = run(8);
+  EXPECT_GT(one.value(telemetry::Counter::kStoreHits), 0u);
+  EXPECT_GT(one.value(telemetry::Counter::kStoreMisses), 0u);
+  EXPECT_GT(one.value(telemetry::Counter::kStoreFreshTrials), 0u);
+  EXPECT_GT(one.value(telemetry::Counter::kStoreIngestedCells), 0u);
+  for (int c = 0; c < telemetry::kNumCounters; ++c) {
+    EXPECT_EQ(one.counters[c], eight.counters[c])
+        << "counter " << telemetry::CounterName(static_cast<telemetry::Counter>(c));
+  }
+}
+
 TEST(Telemetry, WriteTraceEmitsBalancedChromeJson) {
   telemetry::SetCountersEnabled(true);
   telemetry::StartTracing();
   SweepCsvBytes(2, "trace");
+  {
+    // One query against an empty store: Handle() opens the `query` span on
+    // every path, so even this error answer must appear in the trace.
+    store::ResultStore result_store(::testing::TempDir() +
+                                    "/robustify_trace_store");
+    service::QueryService service_engine(&result_store);
+    service::Query query;
+    query.app = "no_such_app";
+    query.series = "A";
+    query.rate = 0.1;
+    EXPECT_FALSE(service_engine.Handle(query).ok);
+  }
   const std::string path = ::testing::TempDir() + "/robustify_trace_test.json";
   ASSERT_TRUE(telemetry::WriteTrace(path));
   EXPECT_FALSE(telemetry::TracingActive());  // the writer stops collection
@@ -289,6 +385,7 @@ TEST(Telemetry, WriteTraceEmitsBalancedChromeJson) {
   EXPECT_NE(json.find("\"trial\""), std::string::npos);
   EXPECT_NE(json.find("\"solve.sgd\""), std::string::npos);
   EXPECT_NE(json.find("\"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"query\""), std::string::npos);
 
   // Balanced B/E pairs: the writer's repair pass guarantees it even when a
   // ring overwrote its oldest events.

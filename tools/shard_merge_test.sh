@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# Sharded-campaign acceptance test for the result store + query service.
+#
+# 1. Runs a reference (unsharded) adaptive campaign  -> golden CSV.
+# 2. Runs the identical campaign as 3 shards; one shard is SIGKILLed
+#    mid-flight and resumed from its (possibly torn) journal.
+# 3. Merges the 3 shard journals into a result store and asserts the
+#    merged CSV is byte-identical to the golden.
+# 4. Query smoke against the merged store: a cache hit serves with zero
+#    fresh trials, a cold cell answers with fresh trials and is written
+#    back (the repeat is a cache hit with the identical interval), and an
+#    off-grid rate is answered by the logistic surrogate.
+#
+# Like kill_resume_test.sh, the campaign is sized to run for a while and
+# the kill retries with shorter delays rather than passing vacuously when
+# the shard finishes first.
+#
+# Usage: shard_merge_test.sh <path-to-robustify_cli> [workdir]
+set -u
+
+CLI=${1:?usage: shard_merge_test.sh <robustify_cli> [workdir]}
+WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+STORE="$WORKDIR/store"
+
+# Outcome-defining spec flags (these feed the fingerprint — every command
+# below must agree on them) vs. allocation flags (canonicalized away, but
+# run/merge must agree so the reduction replays the same stopping rule).
+SPEC=(fig6_1 --rates=0.05,0.1,0.2 --series=SGD+AS,SQS --series=Base)
+ALLOC=(--ci=0.02 --budget=400 --batch=1)
+
+echo "== golden run (unsharded) =="
+"$CLI" run "${SPEC[@]}" "${ALLOC[@]}" --threads=1 \
+    --journal="$WORKDIR/golden.journal" --csv="$WORKDIR/golden.csv" \
+    --json="$WORKDIR/golden.json" > "$WORKDIR/golden.log" 2>&1 \
+    || { echo "golden run failed"; cat "$WORKDIR/golden.log"; exit 1; }
+
+run_shard() {
+  local i=$1
+  "$CLI" run "${SPEC[@]}" "${ALLOC[@]}" --threads=1 --shard="$i/3" \
+      --journal="$WORKDIR/shard$i.journal" --csv="$WORKDIR/shard$i.csv" \
+      --json="$WORKDIR/shard$i.json" > "$WORKDIR/shard$i.log" 2>&1
+}
+
+echo "== shards 0 and 2 (uninterrupted) =="
+run_shard 0 || { echo "shard 0 failed"; cat "$WORKDIR/shard0.log"; exit 1; }
+run_shard 2 || { echo "shard 2 failed"; cat "$WORKDIR/shard2.log"; exit 1; }
+
+echo "== shard 1: SIGKILL mid-flight, then resume =="
+killed=0
+for delay in 0.8 0.4 0.2 0.1 0.05; do
+  rm -f "$WORKDIR/shard1.journal"
+  run_shard 1 &
+  pid=$!
+  sleep "$delay"
+  if ! kill -KILL "$pid" 2>/dev/null; then
+    wait "$pid" 2>/dev/null
+    echo "   shard finished before the kill; retrying with a shorter delay"
+    continue
+  fi
+  wait "$pid" 2>/dev/null
+  if [ ! -s "$WORKDIR/shard1.journal" ]; then
+    echo "   killed before the journal header was written; retrying"
+    continue
+  fi
+  echo "   journal has $(wc -l < "$WORKDIR/shard1.journal") lines at kill time"
+  killed=1
+  break
+done
+if [ "$killed" = 1 ]; then
+  "$CLI" resume "${SPEC[@]}" "${ALLOC[@]}" --threads=1 --shard=1/3 \
+      --journal="$WORKDIR/shard1.journal" --csv="$WORKDIR/shard1.csv" \
+      --json="$WORKDIR/shard1.json" > "$WORKDIR/shard1.log" 2>&1 \
+      || { echo "shard 1 resume failed"; cat "$WORKDIR/shard1.log"; exit 1; }
+else
+  # Too fast to interrupt on this host: fall back to a clean shard run so
+  # the merge identity is still checked (and say so loudly).
+  echo "   WARNING: could not interrupt shard 1; running it to completion"
+  run_shard 1 || { echo "shard 1 failed"; cat "$WORKDIR/shard1.log"; exit 1; }
+fi
+
+echo "== merge 3 shard journals -> store -> CSV =="
+"$CLI" merge "${SPEC[@]}" "${ALLOC[@]}" --store="$STORE" \
+    --csv="$WORKDIR/merged.csv" \
+    "$WORKDIR/shard0.journal" "$WORKDIR/shard1.journal" \
+    "$WORKDIR/shard2.journal" > "$WORKDIR/merge.log" 2>&1 \
+    || { echo "merge failed"; cat "$WORKDIR/merge.log"; exit 1; }
+if ! cmp -s "$WORKDIR/golden.csv" "$WORKDIR/merged.csv"; then
+  echo "FAIL: merged CSV differs from the unsharded golden"
+  diff "$WORKDIR/golden.csv" "$WORKDIR/merged.csv" | head -20
+  exit 1
+fi
+echo "PASS: merged CSV is byte-identical to the unsharded run"
+
+json_field() {  # json_field <file> <key>  — numeric field from a flat object
+  sed -E "s/.*\"$2\":([-+0-9.eE]+).*/\1/" "$1"
+}
+expect_source() {
+  local file=$1 want=$2 label=$3
+  if ! grep -q "\"source\":\"$want\"" "$file"; then
+    echo "FAIL: $label expected source=$want, got: $(cat "$file")"
+    exit 1
+  fi
+  echo "PASS: $label answered from $want"
+}
+
+echo "== query smoke: cache hit at a looser ci =="
+"$CLI" query fig6_1 'Base' 0.1 "${SPEC[@]:1}" --store="$STORE" --ci=0.2 --no-fresh \
+    > "$WORKDIR/q_hit.json" 2> "$WORKDIR/q_hit.log" \
+    || { echo "cache-hit query failed"; cat "$WORKDIR/q_hit.log"; exit 1; }
+expect_source "$WORKDIR/q_hit.json" cache "cache-hit query"
+grep -q '"fresh_trials":0' "$WORKDIR/q_hit.json" \
+    || { echo "FAIL: cache hit ran trials: $(cat "$WORKDIR/q_hit.json")"; exit 1; }
+
+echo "== query smoke: cold cell -> fresh trials, repeat -> cache =="
+# A series subset the sharded campaign never ran: its own fingerprint, so
+# the first query misses and fills the store; the repeat must serve the
+# write-back with the identical interval and zero trials.
+COLD=(fig6_1 --rates=0.05,0.1,0.2 --series=SGD)
+"$CLI" query fig6_1 'SGD' 0.1 "${COLD[@]:1}" --store="$STORE" --ci=0.25 \
+    > "$WORKDIR/q_miss.json" 2> "$WORKDIR/q_miss.log" \
+    || { echo "cache-miss query failed"; cat "$WORKDIR/q_miss.log"; exit 1; }
+expect_source "$WORKDIR/q_miss.json" fresh-trials "cache-miss query"
+if grep -q '"fresh_trials":0' "$WORKDIR/q_miss.json"; then
+  echo "FAIL: miss ran zero fresh trials: $(cat "$WORKDIR/q_miss.json")"
+  exit 1
+fi
+"$CLI" query fig6_1 'SGD' 0.1 "${COLD[@]:1}" --store="$STORE" --ci=0.25 \
+    > "$WORKDIR/q_repeat.json" 2> "$WORKDIR/q_repeat.log" \
+    || { echo "repeat query failed"; cat "$WORKDIR/q_repeat.log"; exit 1; }
+expect_source "$WORKDIR/q_repeat.json" cache "repeat query"
+for key in success_rate half_width trials; do
+  a=$(json_field "$WORKDIR/q_miss.json" "$key")
+  b=$(json_field "$WORKDIR/q_repeat.json" "$key")
+  if [ "$a" != "$b" ]; then
+    echo "FAIL: repeat query changed $key: $a -> $b"
+    exit 1
+  fi
+done
+echo "PASS: repeat query returned the identical interval"
+
+echo "== query smoke: off-grid rate -> surrogate =="
+"$CLI" query fig6_1 'Base' 0.15 "${SPEC[@]:1}" --store="$STORE" --ci=0.5 --no-fresh \
+    > "$WORKDIR/q_surr.json" 2> "$WORKDIR/q_surr.log" \
+    || { echo "surrogate query failed"; cat "$WORKDIR/q_surr.log"; exit 1; }
+expect_source "$WORKDIR/q_surr.json" surrogate "off-grid query"
+
+echo "== list --fingerprints smoke =="
+"$CLI" list --fingerprints > "$WORKDIR/list.txt" \
+    || { echo "list --fingerprints failed"; exit 1; }
+grep -Eq '^[0-9a-f]{16}  fig6_1$' "$WORKDIR/list.txt" \
+    || { echo "FAIL: no fingerprint line for fig6_1"; cat "$WORKDIR/list.txt"; exit 1; }
+echo "PASS: registry fingerprints listed"
+
+echo "ALL PASS"
+exit 0
