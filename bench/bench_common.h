@@ -15,6 +15,8 @@
 //   --trace[=PATH]     flight-recorder spans -> Chrome trace JSON
 //                      (default TRACE_<name>.json; load in Perfetto)
 //   --metrics=PATH     merged counter/histogram snapshot + provenance JSON
+//   --attr[=PATH]      wall-time attribution ledger -> report on stderr
+//                      (or to PATH when given); per-category self/total
 //   --progress         heartbeat lines on stderr (units done, trials/s, ETA)
 #pragma once
 
@@ -67,6 +69,8 @@ struct BenchOptions {
   bool trace = false;          // --trace[=PATH]: span collection + JSON dump
   std::string trace_path;      // empty with trace: TRACE_<name>.json
   std::string metrics_path;    // empty: no --metrics export
+  bool attr = false;           // --attr[=PATH]: wall-time attribution ledger
+  std::string attr_path;       // empty with attr: report goes to stderr
 };
 
 // Parses the shared flags, applies sweep overrides, times every sweep, and
@@ -124,6 +128,11 @@ class BenchContext {
         options_.trace_path = arg.substr(8);
       } else if (arg.rfind("--metrics=", 0) == 0) {
         options_.metrics_path = arg.substr(10);
+      } else if (arg == "--attr") {
+        options_.attr = true;
+      } else if (arg.rfind("--attr=", 0) == 0) {
+        options_.attr = true;
+        options_.attr_path = arg.substr(7);
       } else if (arg == "--progress") {
         telemetry::EnableProgress();
       } else {
@@ -131,11 +140,12 @@ class BenchContext {
                   << "usage: " << name
                   << " [--trials=N] [--rates=a,b,c] [--threads=N] [--json=PATH]"
                      " [--compare-serial] [--trace[=PATH]] [--metrics=PATH]"
-                     " [--progress]\n";
+                     " [--attr[=PATH]] [--progress]\n";
         std::exit(2);
       }
     }
     if (options_.trace) telemetry::StartTracing();
+    if (options_.attr) telemetry::SetAttributionEnabled(true);
   }
 
   const BenchOptions& options() const { return options_; }
@@ -205,6 +215,13 @@ class BenchContext {
     report_.sections.push_back(section);
   }
 
+  // The most recently recorded section, for benches that annotate it after
+  // the fact (bench_roofline fills the roofline fields).  nullptr before
+  // the first section.
+  harness::PerfSection* LastSection() {
+    return report_.sections.empty() ? nullptr : &report_.sections.back();
+  }
+
   // Writes the perf report (and any requested trace/metrics exports); call
   // as the last statement of main().
   int Finish() {
@@ -242,6 +259,17 @@ class BenchContext {
         std::cout << "[metrics json written: " << options_.metrics_path << "]\n";
       } catch (const std::exception& e) {
         std::cout << "[metrics json skipped: " << e.what() << "]\n";
+      }
+    }
+    if (options_.attr) {
+      if (options_.attr_path.empty()) {
+        telemetry::FormatAttributionReport(telemetry::SnapshotAttribution(),
+                                           std::cerr);
+      } else if (telemetry::WriteAttributionReport(options_.attr_path)) {
+        std::cout << "[attr report written: " << options_.attr_path << "]\n";
+      } else {
+        std::cout << "[attr report skipped: cannot write "
+                  << options_.attr_path << "]\n";
       }
     }
     return 0;

@@ -1,0 +1,225 @@
+// Roofline placement of every faulty-BLAS kernel family.
+//
+// Loads the machine profile (robustify_cli calibrate, cached as
+// machine_profile.json) — or quick-calibrates one on the spot when the file
+// is missing — then measures each kernel family's clean-path throughput on
+// DRAM-resident working sets and places it under its analytic ceiling
+// (perfmodel/roofline.h):
+//
+//   ceiling = min(vector peak, AI * triad bandwidth)
+//   efficiency = measured / ceiling
+//
+// The per-family efficiency lands in BENCH_roofline.json as
+// roofline_efficiency, which tools/perf_diff.py can gate host-comparably
+// (--efficiency-threshold): raw Mops/s shifts with the host, the fraction
+// of the host's own roofline does not.
+//
+// Extra flags (consumed before the shared BenchContext parser):
+//   --profile=PATH   machine profile location (default machine_profile.json;
+//                    quick-calibrated and written there when missing)
+//   --quick          shrink probe durations for smoke runs (CI)
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "harness/timer.h"
+#include "linalg/faulty_blas.h"
+#include "perfmodel/calibrate.h"
+#include "perfmodel/roofline.h"
+
+namespace {
+
+using robustify::perfmodel::KernelTraits;
+using robustify::perfmodel::MachineProfile;
+using robustify::perfmodel::RooflinePlacement;
+
+struct ProbeOptions {
+  double seconds_per_probe = 0.12;
+  int rounds = 2;
+};
+
+// Best-of-rounds throughput for one kernel pass (same discipline as the
+// calibration probes: the fastest round is the least-disturbed one).
+template <typename PassFn>
+double MeasureGops(const PassFn& pass, double ops_per_pass,
+                   const ProbeOptions& options) {
+  double best = 0.0;
+  for (int round = 0; round < options.rounds; ++round) {
+    std::size_t passes = 0;
+    robustify::harness::WallTimer timer;
+    double elapsed = 0.0;
+    do {
+      pass();
+      ++passes;
+      elapsed = timer.Seconds();
+    } while (elapsed < options.seconds_per_probe);
+    if (elapsed > 0.0) {
+      const double gops =
+          ops_per_pass * static_cast<double>(passes) / elapsed / 1e9;
+      if (gops > best) best = gops;
+    }
+  }
+  return best;
+}
+
+// The measured value escapes through the report; keep a sink anyway so a
+// result-free pass (Scal, Sub, ...) cannot be hoisted.
+volatile double g_sink = 0.0;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace blas = robustify::linalg::blas;
+  namespace bench = robustify::bench;
+  namespace perfmodel = robustify::perfmodel;
+
+  // Split off the flags BenchContext does not know before handing it argv.
+  std::string profile_path = "machine_profile.json";
+  bool quick = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      profile_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  bench::BenchContext ctx("roofline", static_cast<int>(passthrough.size()),
+                          passthrough.data());
+
+  bench::Banner("Roofline: faulty-BLAS kernel efficiency vs. machine peaks",
+                "observability tier (no paper figure)",
+                "memory-bound kernels near their bandwidth roof; "
+                "efficiency near or below 1");
+
+  MachineProfile profile = perfmodel::LoadMachineProfile(profile_path);
+  if (!profile.valid) {
+    std::cout << "[no machine profile at " << profile_path
+              << "; running quick calibration]\n";
+    profile = perfmodel::Calibrate(quick
+                                       ? perfmodel::CalibrationOptions::Quick()
+                                       : perfmodel::CalibrationOptions{});
+    try {
+      perfmodel::WriteMachineProfile(profile_path, profile);
+      std::cout << "[machine profile written: " << profile_path << "]\n";
+    } catch (const std::exception& e) {
+      std::cout << "[machine profile not cached: " << e.what() << "]\n";
+    }
+  }
+  std::cout << "machine: scalar " << profile.scalar_peak_gops
+            << " Gops/s, vector " << profile.vector_peak_gops
+            << " Gops/s, triad " << profile.triad_bandwidth_gbps
+            << " GB/s, sustained " << profile.sustained_bandwidth_gbps
+            << " GB/s (" << profile.created_utc << ")\n\n";
+  if (!profile.valid) {
+    std::cerr << "calibration produced an invalid profile; aborting\n";
+    return 1;
+  }
+
+  ProbeOptions probe;
+  if (quick) {
+    probe.seconds_per_probe = 0.01;
+    probe.rounds = 1;
+  }
+
+  // DRAM-resident working sets, matching the analytic byte counts: 16 MiB
+  // per vector, and a 512 x 4096 matrix (16 MiB) with cache-resident
+  // vectors for the matvec pair.
+  constexpr std::size_t kN = std::size_t{1} << 21;
+  constexpr std::size_t kRows = 512;
+  constexpr std::size_t kCols = 4096;
+  std::vector<double> x(kN), y(kN), z(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    x[i] = 1e-6 * static_cast<double>(i % 1024);
+    y[i] = 1e-6 * static_cast<double>((i + 37) % 1024);
+    z[i] = 1e-6 * static_cast<double>((i + 511) % 1024);
+  }
+  std::vector<double> a(kRows * kCols);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = 1e-3 * static_cast<double>(i % 251);
+  }
+  std::vector<double> mv_x(kCols, 0.5), mv_y(kRows, 0.0), mt_x(kRows, 0.5),
+      mt_y(kCols, 0.0);
+
+  const double n_d = static_cast<double>(kN);
+  const double mat_ops = 2.0 * static_cast<double>(kRows * kCols);
+
+  struct FamilyProbe {
+    const char* family;
+    double ops_per_pass;
+    std::function<void()> pass;
+  };
+  // Scale factors chosen so unbounded repetition keeps every value finite:
+  // rotations preserve norms, accumulating updates use 1e-6-scale operands.
+  const std::vector<FamilyProbe> probes = {
+      {"dot", 2.0 * n_d,
+       [&] { g_sink = blas::DotAcc(kN, 0.0, x.data(), 1, y.data(), 1); }},
+      {"axpy", 2.0 * n_d,
+       [&] { blas::Axpy(kN, 1e-6, x.data(), 1, y.data(), 1); }},
+      {"xpby", 2.0 * n_d, [&] { blas::Xpby(kN, z.data(), 0.5, y.data()); }},
+      {"scal", 1.0 * n_d, [&] { blas::Scal(kN, 1.0, x.data()); }},
+      {"sub", 1.0 * n_d, [&] { blas::Sub(kN, x.data(), y.data()); }},
+      {"sub_scaled2", 3.0 * n_d,
+       [&] { blas::SubScaled2(kN, 1e-3, 1e-3, x.data(), y.data()); }},
+      {"nrm2", 2.0 * n_d, [&] { g_sink = blas::Nrm2(kN, x.data()); }},
+      {"matvec", mat_ops,
+       [&] {
+         blas::MatVecInto(kRows, kCols, a.data(), mv_x.data(), mv_y.data());
+       }},
+      {"mattvec", mat_ops,
+       [&] {
+         blas::MatTVecInto(kRows, kCols, a.data(), mt_x.data(), mt_y.data());
+       }},
+      {"residual", 3.0 * n_d,
+       [&] { g_sink = blas::ResidualSsqAcc(kN, 0.0, x.data(), z.data()); }},
+      {"rot", 6.0 * n_d,
+       [&] { blas::Rot(kN, x.data(), 1, y.data(), 1, 0.8, 0.6); }},
+      {"jacobi_dots", 6.0 * n_d,
+       [&] {
+         double app = 0.0, aqq = 0.0, apq = 0.0;
+         blas::JacobiDots(kN, x.data(), 1, y.data(), 1, &app, &aqq, &apq);
+         g_sink = app + aqq + apq;
+       }},
+  };
+
+  std::printf("%-12s %10s %8s %12s %11s  %s\n", "family", "Gops/s", "AI",
+              "ceiling", "efficiency", "bound");
+  for (const FamilyProbe& fp : probes) {
+    const KernelTraits* traits = perfmodel::FindKernelTraits(fp.family);
+    if (traits == nullptr) {
+      std::cerr << "kernel family missing from the analytic table: "
+                << fp.family << "\n";
+      return 1;
+    }
+    robustify::harness::WallTimer timer;
+    const double gops = MeasureGops(fp.pass, fp.ops_per_pass, probe);
+    const double wall = timer.Seconds();
+    const RooflinePlacement placement =
+        perfmodel::PlaceKernel(*traits, gops, profile);
+    if (!placement.valid || !std::isfinite(placement.efficiency)) {
+      std::cerr << "roofline placement failed for " << fp.family << "\n";
+      return 1;
+    }
+    std::printf("%-12s %10.3f %8.3f %12.3f %11.3f  %s\n", fp.family, gops,
+                placement.arithmetic_intensity, placement.ceiling_gops,
+                placement.efficiency,
+                placement.memory_bound ? "memory" : "compute");
+    // Ops here stream through the faulty-BLAS clean path (no injector
+    // installed), so the section's flops field carries the kernel ops.
+    ctx.RecordSection(fp.family, wall, fp.ops_per_pass);
+    robustify::harness::PerfSection* section = ctx.LastSection();
+    section->kernel_gops = gops;
+    section->arithmetic_intensity = placement.arithmetic_intensity;
+    section->roofline_ceiling_gops = placement.ceiling_gops;
+    section->roofline_efficiency = placement.efficiency;
+  }
+  std::cout << "\n";
+  return ctx.Finish();
+}

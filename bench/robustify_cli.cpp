@@ -22,7 +22,14 @@
 //       (written back to the store).
 //   robustify_cli serve <fig|spec-file>... --store=DIR
 //       Newline-delimited-JSON query loop on stdin/stdout; one answer
-//       object per query line.
+//       object per query line.  A {"cmd": "stats"} line answers with the
+//       serve loop's counters, per-source latency quantiles, and the
+//       store manifest instead of running a query.
+//   robustify_cli calibrate [--out=PATH] [--quick] [--seconds=S] [--rounds=N]
+//       Microbenchmark the host (scalar/vector FLOP peaks, triad memory
+//       bandwidth) and cache the provenance-stamped profile as
+//       machine_profile.json — the roofline denominators bench_roofline
+//       places kernels against.
 //
 // Flags (run/resume):
 //   --ci=H         target Wilson 95% half-width on the success fraction
@@ -49,6 +56,8 @@
 //   --trace[=PATH] flight-recorder spans -> Chrome trace JSON
 //                  (default TRACE_campaign_<name>.json; load in Perfetto)
 //   --metrics=PATH merged counter/histogram snapshot + provenance JSON
+//   --attr[=PATH]  wall-time attribution ledger -> per-category self/total
+//                  report on stderr (or to PATH when given)
 //   --progress     heartbeat lines on stderr (cells done, trials/s, ETA)
 //
 // Flags (merge/query/serve):
@@ -75,6 +84,7 @@
 #include "harness/perf_report.h"
 #include "harness/table.h"
 #include "harness/timer.h"
+#include "perfmodel/calibrate.h"
 #include "service/query_service.h"
 #include "store/result_store.h"
 #include "telemetry/metrics_export.h"
@@ -96,12 +106,15 @@ int Usage() {
       << "           [--window-mean=W] [--window-rate=P] [--guard-flops=N]\n"
       << "           [--guard-iters=N] [--guard-bailout]\n"
       << "           [--journal=PATH] [--csv=PATH] [--json=PATH]\n"
-      << "           [--trace[=PATH]] [--metrics=PATH] [--progress]\n"
+      << "           [--trace[=PATH]] [--metrics=PATH] [--attr[=PATH]]\n"
+      << "           [--progress]\n"
       << "       robustify_cli merge <fig|spec-file> [--store=DIR] [--csv=PATH]\n"
       << "           [--fixed] [spec flags] <journal>...\n"
       << "       robustify_cli query <fig|spec-file> <series> <rate> [--ci=H]\n"
       << "           [--store=DIR] [--no-fresh] [--no-surrogate] [spec flags]\n"
-      << "       robustify_cli serve [--store=DIR] [<fig|spec-file>...]\n";
+      << "       robustify_cli serve [--store=DIR] [<fig|spec-file>...]\n"
+      << "       robustify_cli calibrate [--out=PATH] [--quick] [--seconds=S]\n"
+      << "           [--rounds=N]\n";
   return 2;
 }
 
@@ -188,6 +201,8 @@ struct CliOptions {
   bool trace = false;
   std::string trace_path;
   std::string metrics_path;
+  bool attr = false;
+  std::string attr_path;  // empty with attr: report goes to stderr
 };
 
 // A spec file wins when the path exists; otherwise the registry.
@@ -291,6 +306,11 @@ int RunCampaignCommand(bool resume, const std::string& target,
       cli.trace_path = arg.substr(8);
     } else if (arg.rfind("--metrics=", 0) == 0) {
       cli.metrics_path = arg.substr(10);
+    } else if (arg == "--attr") {
+      cli.attr = true;
+    } else if (arg.rfind("--attr=", 0) == 0) {
+      cli.attr = true;
+      cli.attr_path = arg.substr(7);
     } else if (arg == "--progress") {
       telemetry::EnableProgress();
     } else {
@@ -317,6 +337,7 @@ int RunCampaignCommand(bool resume, const std::string& target,
   }
 
   if (cli.trace) telemetry::StartTracing();
+  if (cli.attr) telemetry::SetAttributionEnabled(true);
   if (cli.trace_path.empty()) {
     cli.trace_path = "TRACE_campaign_" + cli.spec.name + ".json";
   }
@@ -415,6 +436,17 @@ int RunCampaignCommand(bool resume, const std::string& target,
       std::cout << "[metrics json written: " << cli.metrics_path << "]\n";
     } catch (const std::exception& e) {
       std::cout << "[metrics json skipped: " << e.what() << "]\n";
+    }
+  }
+  if (cli.attr) {
+    if (cli.attr_path.empty()) {
+      telemetry::FormatAttributionReport(telemetry::SnapshotAttribution(),
+                                         std::cerr);
+    } else if (telemetry::WriteAttributionReport(cli.attr_path)) {
+      std::cout << "[attr report written: " << cli.attr_path << "]\n";
+    } else {
+      std::cout << "[attr report skipped: cannot write " << cli.attr_path
+                << "]\n";
     }
   }
   return 0;
@@ -549,6 +581,37 @@ int RunServeCommand(const std::vector<std::string>& args) {
   return 0;
 }
 
+int RunCalibrateCommand(const std::vector<std::string>& args) {
+  std::string out_path = "machine_profile.json";
+  perfmodel::CalibrationOptions options;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--quick") {
+      options = perfmodel::CalibrationOptions::Quick();
+    } else if (arg.rfind("--seconds=", 0) == 0) {
+      options.seconds_per_probe = ParseDoubleFlag("--seconds", arg.substr(10));
+      if (!(options.seconds_per_probe > 0.0)) Die("--seconds must be > 0");
+    } else if (arg.rfind("--rounds=", 0) == 0) {
+      options.rounds = static_cast<int>(ParseLongFlag("--rounds", arg.substr(9)));
+      if (options.rounds < 1) Die("--rounds must be >= 1");
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return Usage();
+    }
+  }
+  const perfmodel::MachineProfile profile = perfmodel::Calibrate(options);
+  if (!profile.valid) Die("calibration produced an invalid profile");
+  std::printf("scalar peak:      %8.3f Gops/s\n", profile.scalar_peak_gops);
+  std::printf("vector peak:      %8.3f Gops/s\n", profile.vector_peak_gops);
+  std::printf("triad bandwidth:  %8.3f GB/s\n", profile.triad_bandwidth_gbps);
+  std::printf("sustained bw:     %8.3f GB/s\n", profile.sustained_bandwidth_gbps);
+  std::printf("calibration took: %8.3f s\n", profile.calibration_seconds);
+  perfmodel::WriteMachineProfile(out_path, profile);
+  std::cout << "[machine profile written: " << out_path << "]\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -584,6 +647,11 @@ int main(int argc, char** argv) {
       std::vector<std::string> args;
       for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
       return RunServeCommand(args);
+    }
+    if (command == "calibrate") {
+      std::vector<std::string> args;
+      for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+      return RunCalibrateCommand(args);
     }
   } catch (const std::exception& e) {
     std::cerr << "robustify_cli: " << e.what() << "\n";

@@ -298,6 +298,7 @@ CampaignResult RunCampaign(const CampaignSpec& spec, const Scenario& scenario,
   telemetry::ProgressEnd();
 
   // ---- serial in-order reduction --------------------------------------------
+  telemetry::SpanScope reduce_span("reduce");
   CampaignResult result = BuildResult(spec, scenario, accepted, stats);
   result.budget_trials = static_cast<long>(adaptive.max_trials) * owned_cells;
   result.resumed_trials = resumed_trials;

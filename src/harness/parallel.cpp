@@ -6,6 +6,8 @@
 #include <exception>
 #include <utility>
 
+#include "telemetry/trace.h"
+
 namespace robustify::harness {
 
 int ResolveThreadCount(int requested) {
@@ -94,7 +96,13 @@ void ParallelFor(int count, int threads, const std::function<void(int)>& fn) {
 
   ThreadPool pool(workers);
   for (int w = 0; w < workers; ++w) pool.Submit(drive);
-  pool.Wait();
+  {
+    // The submitting thread parks here while workers drain the grid; the
+    // attribution ledger books it as pool.wait so a parent span's self
+    // time is its own machinery, not the wait.
+    telemetry::SpanScope wait_span("pool.wait");
+    pool.Wait();
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

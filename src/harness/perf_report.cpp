@@ -76,6 +76,12 @@ void WritePerfJson(const std::string& path, const PerfReport& report) {
       out << "," << " \"trials_run\": " << Num(s.trials_run) << ","
           << " \"trials_budget\": " << Num(s.trials_budget);
     }
+    if (s.roofline_ceiling_gops > 0.0) {
+      out << "," << " \"kernel_gops\": " << Num(s.kernel_gops) << ","
+          << " \"arithmetic_intensity\": " << Num(s.arithmetic_intensity) << ","
+          << " \"roofline_ceiling_gops\": " << Num(s.roofline_ceiling_gops)
+          << "," << " \"roofline_efficiency\": " << Num(s.roofline_efficiency);
+    }
     out << "}";
   }
   out << "\n  ],\n  \"counters\": {";

@@ -25,6 +25,13 @@ struct PerfSection {
   // accepted trials vs. the fixed budget the same spec would have spent.
   double trials_run = 0.0;
   double trials_budget = 0.0;
+  // Roofline placement (0 ceiling = not placed; bench_roofline fills these
+  // from perfmodel/roofline.h).  Efficiency = kernel_gops / ceiling — the
+  // host-comparable fraction of what the machine allows.
+  double kernel_gops = 0.0;
+  double arithmetic_intensity = 0.0;
+  double roofline_ceiling_gops = 0.0;
+  double roofline_efficiency = 0.0;
 };
 
 struct PerfReport {

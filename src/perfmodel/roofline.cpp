@@ -1,0 +1,66 @@
+#include "perfmodel/roofline.h"
+
+#include <cmath>
+
+namespace robustify::perfmodel {
+
+namespace {
+
+// Doubles throughout: 8 bytes per element read or written.  Flop counts
+// mirror the per-element op sequences documented in linalg/faulty_blas.h;
+// byte counts are the DRAM-streamed operands only (accumulators, scalars,
+// and the matvec vectors stay in registers or cache).
+const std::vector<KernelTraits>& Table() {
+  static const std::vector<KernelTraits> table = {
+      // family        flops  bytes   streamed operands
+      {"dot",          2.0,   16.0},  // read x, read y; mul + add
+      {"axpy",         2.0,   24.0},  // read x, read+write y; mul + add
+      {"xpby",         2.0,   24.0},  // read s, read+write p; mul + add
+      {"scal",         1.0,   16.0},  // read+write x; mul
+      {"sub",          1.0,   24.0},  // read x, read+write y; sub
+      {"sub_scaled2",  3.0,   24.0},  // read x, read+write y; mul + mul + sub
+      {"nrm2",         2.0,    8.0},  // read x; mul + add (one sqrt per call)
+      {"matvec",       2.0,    8.0},  // stream A; x, y cache-resident
+      {"mattvec",      2.0,    8.0},  // stream A (row-major transposed apply)
+      {"residual",     3.0,   16.0},  // read ax, read b; sub + mul + add
+      {"rot",          6.0,   32.0},  // read+write x and y; 4 mul + 2 add
+      {"jacobi_dots",  6.0,   16.0},  // read x, read y; three fused dots
+  };
+  return table;
+}
+
+}  // namespace
+
+const std::vector<KernelTraits>& KernelFamilyTable() { return Table(); }
+
+const KernelTraits* FindKernelTraits(const std::string& family) {
+  for (const KernelTraits& traits : Table()) {
+    if (family == traits.family) return &traits;
+  }
+  return nullptr;
+}
+
+RooflinePlacement PlaceKernel(const KernelTraits& traits, double measured_gops,
+                              const MachineProfile& profile,
+                              bool use_vector_peak) {
+  RooflinePlacement placement;
+  if (!profile.valid || traits.flops_per_element <= 0.0 ||
+      traits.bytes_per_element <= 0.0) {
+    return placement;
+  }
+  placement.arithmetic_intensity = traits.arithmetic_intensity();
+  const double compute_roof =
+      use_vector_peak ? profile.vector_peak_gops : profile.scalar_peak_gops;
+  const double memory_roof =
+      placement.arithmetic_intensity * profile.sustained_bandwidth_gbps;
+  placement.memory_bound = memory_roof < compute_roof;
+  placement.ceiling_gops = placement.memory_bound ? memory_roof : compute_roof;
+  if (placement.ceiling_gops > 0.0 && std::isfinite(measured_gops) &&
+      measured_gops >= 0.0) {
+    placement.efficiency = measured_gops / placement.ceiling_gops;
+    placement.valid = true;
+  }
+  return placement;
+}
+
+}  // namespace robustify::perfmodel

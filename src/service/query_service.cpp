@@ -12,6 +12,7 @@
 #include "campaign/adaptive.h"
 #include "campaign/runner.h"
 #include "core/fault_env.h"
+#include "harness/timer.h"
 #include "harness/trial.h"
 #include "service/surrogate.h"
 #include "telemetry/telemetry.h"
@@ -292,6 +293,24 @@ Answer QueryService::AnswerSurrogate(const CampaignSpec& spec,
 
 Answer QueryService::Handle(const Query& query) {
   telemetry::SpanScope query_span("query");
+  harness::WallTimer timer;
+  Answer answer = HandleQuery(query);
+  if (answer.ok) {
+    // Latency is a timing observation, not a function of the work — the
+    // histograms exist for the stats reply, never for exact-diff gates.
+    const auto us = static_cast<std::uint64_t>(timer.Seconds() * 1e6);
+    if (answer.source == "cache") {
+      telemetry::Observe(telemetry::Histogram::kQueryLatencyCacheUs, us);
+    } else if (answer.source == "fresh-trials") {
+      telemetry::Observe(telemetry::Histogram::kQueryLatencyFreshUs, us);
+    } else if (answer.source == "surrogate") {
+      telemetry::Observe(telemetry::Histogram::kQueryLatencySurrogateUs, us);
+    }
+  }
+  return answer;
+}
+
+Answer QueryService::HandleQuery(const Query& query) {
   try {
     std::string error;
     const AppEntry* app = ResolveApp(query.app, &error);
@@ -401,15 +420,21 @@ bool QueryService::ParseQueryJson(const std::string& line, Query* query,
     }
     ++i;
     SkipWs(line, i);
-    if (key == "app" || key == "series") {
+    if (key == "app" || key == "series" || key == "cmd") {
       std::string value;
       if (!ParseJsonString(line, i, &value, error)) return false;
       if (key == "app") {
         query->app = value;
         have_app = true;
-      } else {
+      } else if (key == "series") {
         query->series = value;
         have_series = true;
+      } else {
+        if (value != "stats") {
+          *error = "unknown cmd '" + value + "' (supported: stats)";
+          return false;
+        }
+        query->cmd = value;
       }
     } else if (key == "rate" || key == "ci") {
       const char* begin = line.c_str() + i;
@@ -456,7 +481,7 @@ bool QueryService::ParseQueryJson(const std::string& line, Query* query,
     *error = "expected ',' or '}'";
     return false;
   }
-  if (!have_app || !have_series || !have_rate) {
+  if (query->cmd.empty() && (!have_app || !have_series || !have_rate)) {
     *error = "query needs \"app\", \"series\", and \"rate\"";
     return false;
   }
@@ -479,6 +504,70 @@ std::string QueryService::AnswerJson(const Answer& answer) {
   return "{\"ok\":true,\"source\":\"" + EscapeJson(answer.source) + "\"" + buf;
 }
 
+std::string QueryService::StatsJson() const {
+  telemetry::SpanScope stats_span("stats");
+  const telemetry::CounterSnapshot snapshot = telemetry::SnapshotCounters();
+  char buf[160];
+  std::string out = "{\"ok\":true,\"cmd\":\"stats\",\"counters\":{";
+
+  bool first = true;
+  for (int c = 0; c < telemetry::kNumCounters; ++c) {
+    if (snapshot.counters[c] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", first ? "" : ",",
+                  telemetry::CounterName(static_cast<telemetry::Counter>(c)),
+                  static_cast<unsigned long long>(snapshot.counters[c]));
+    out += buf;
+    first = false;
+  }
+
+  out += "},\"latency_us\":{";
+  const struct {
+    const char* key;
+    telemetry::Histogram histogram;
+  } sources[] = {
+      {"cache", telemetry::Histogram::kQueryLatencyCacheUs},
+      {"fresh_trials", telemetry::Histogram::kQueryLatencyFreshUs},
+      {"surrogate", telemetry::Histogram::kQueryLatencySurrogateUs},
+  };
+  for (std::size_t s = 0; s < 3; ++s) {
+    const std::uint64_t* buckets =
+        snapshot.histograms[static_cast<int>(sources[s].histogram)];
+    std::uint64_t count = 0;
+    for (int b = 0; b < telemetry::kHistogramBuckets; ++b) count += buckets[b];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"count\":%llu,\"p50\":%.6g,\"p90\":%.6g,"
+                  "\"p99\":%.6g}",
+                  s == 0 ? "" : ",", sources[s].key,
+                  static_cast<unsigned long long>(count),
+                  telemetry::HistogramQuantile(buckets, 0.50),
+                  telemetry::HistogramQuantile(buckets, 0.90),
+                  telemetry::HistogramQuantile(buckets, 0.99));
+    out += buf;
+  }
+
+  out += "},\"store\":{\"root\":\"" + EscapeJson(store_->root()) +
+         "\",\"campaigns\":[";
+  bool first_campaign = true;
+  for (const store::ResultStore::ManifestEntry& entry : store_->Manifest()) {
+    if (!first_campaign) out += ",";
+    first_campaign = false;
+    out += "{\"fingerprint\":\"" + entry.fingerprint + "\",\"app\":\"" +
+           EscapeJson(entry.app) + "\",\"cells\":[";
+    for (std::size_t c = 0; c < entry.cells.size(); ++c) {
+      const store::ResultStore::ManifestCell& cell = entry.cells[c];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"series\":%d,\"rate\":%d,\"trials\":%d,"
+                    "\"successes\":%d,\"half_width\":%.17g}",
+                    c == 0 ? "" : ",", cell.series, cell.rate, cell.trials,
+                    cell.successes, cell.half_width);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "]}}";
+  return out;
+}
+
 void QueryService::Serve(std::istream& in, std::ostream& out) {
   std::string line;
   while (std::getline(in, line)) {
@@ -489,6 +578,10 @@ void QueryService::Serve(std::istream& in, std::ostream& out) {
     std::string error;
     Answer answer;
     if (ParseQueryJson(line, &query, &error)) {
+      if (query.cmd == "stats") {
+        out << StatsJson() << '\n' << std::flush;
+        continue;
+      }
       answer = Handle(query);
     } else {
       answer.error = "bad query: " + error;

@@ -36,6 +36,7 @@
 namespace robustify::service {
 
 struct Query {
+  std::string cmd;     // "" = answer a query; "stats" = serve-loop status
   std::string app;     // registered app / registry spec name
   std::string series;  // series name within the app's scenario
   double rate = 0.0;
@@ -71,16 +72,25 @@ class QueryService {
                     campaign::Scenario scenario);
 
   // Answers one query.  Never throws: failures come back as ok == false
-  // with a human-readable error.  Emits the `query` trace span and the
-  // store.{hits,misses,fresh_trials} counters.
+  // with a human-readable error.  Emits the `query` trace span, the
+  // store.{hits,misses,fresh_trials} counters, and the per-source
+  // query.latency_us.* histogram sample for answered queries.
   Answer Handle(const Query& query);
 
   // Newline-delimited JSON serve loop: one flat JSON object per input line
   // ({"app":..., "series":..., "rate":..., "ci":...,
   //   "fresh":true|false, "surrogate":true|false} — ci/fresh/surrogate
   // optional), one answer object per output line, flushed per answer.
-  // Blank lines are skipped; EOF ends the loop.
+  // Blank lines are skipped; EOF ends the loop.  A {"cmd":"stats"} line is
+  // answered with StatsJson() instead of running a query.
   void Serve(std::istream& in, std::ostream& out);
+
+  // One-line JSON status of the serve loop: telemetry counters (nonzero
+  // only), per-answer-source latency quantiles (count/p50/p90/p99, in
+  // microseconds, interpolated from the log2 histograms — process-lifetime
+  // totals), and the store manifest (stored fingerprints with per-cell
+  // trials and achieved Wilson half-width).
+  std::string StatsJson() const;
 
   // JSON plumbing, exposed for tests.  ParseQueryJson returns false (with
   // `error` set) on malformed input or missing required keys.
@@ -97,6 +107,9 @@ class QueryService {
   // Looks up (registering from the campaign registry on first use) the
   // app's spec + scenario.  Returns nullptr with `error` set when unknown.
   const AppEntry* ResolveApp(const std::string& app, std::string* error);
+
+  // Handle() minus the latency accounting that wraps it.
+  Answer HandleQuery(const Query& query);
 
   Answer AnswerCell(const campaign::CampaignSpec& spec,
                     const campaign::Scenario& scenario, int series_index,

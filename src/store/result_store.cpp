@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "campaign/adaptive.h"
 #include "telemetry/telemetry.h"
 
 namespace robustify::store {
@@ -133,6 +134,52 @@ ResultStore::IngestStats ResultStore::IngestRecords(
   telemetry::Count(telemetry::Counter::kStoreIngestedCells,
                    static_cast<std::uint64_t>(stats.cells_updated));
   return stats;
+}
+
+std::vector<ResultStore::ManifestEntry> ResultStore::Manifest() const {
+  std::vector<ManifestEntry> manifest;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root_, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 16 ||
+        name.find_first_not_of("0123456789abcdef") != std::string::npos) {
+      continue;  // not a fingerprint directory
+    }
+    CampaignJournal::Loaded loaded =
+        CampaignJournal::Load(JournalPath(entry.path().string()));
+    if (!loaded.exists) continue;
+
+    ManifestEntry campaign;
+    campaign.fingerprint = name;
+    // spec.txt's "app = ..." line names the scenario; best-effort only.
+    std::ifstream spec_in(entry.path().string() + "/spec.txt");
+    std::string line;
+    while (std::getline(spec_in, line)) {
+      if (line.rfind("app = ", 0) == 0) {
+        campaign.app = line.substr(6);
+        break;
+      }
+    }
+    for (const auto& [key, bucket] : Normalize(loaded.records)) {
+      if (bucket.empty()) continue;
+      ManifestCell cell;
+      cell.series = key.first;
+      cell.rate = key.second;
+      cell.trials = static_cast<int>(bucket.size());
+      for (const TrialRecord& r : bucket) {
+        if (r.success) ++cell.successes;
+      }
+      cell.half_width = campaign::WilsonHalfWidth(cell.successes, cell.trials);
+      campaign.cells.push_back(cell);
+    }
+    if (!campaign.cells.empty()) manifest.push_back(std::move(campaign));
+  }
+  std::sort(manifest.begin(), manifest.end(),
+            [](const ManifestEntry& a, const ManifestEntry& b) {
+              return a.fingerprint < b.fingerprint;
+            });
+  return manifest;
 }
 
 ResultStore::IngestStats ResultStore::IngestJournal(const CampaignSpec& spec,

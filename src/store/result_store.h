@@ -71,6 +71,26 @@ class ResultStore {
   IngestStats IngestJournal(const campaign::CampaignSpec& spec,
                             const std::string& path);
 
+  struct ManifestCell {
+    int series = 0;
+    int rate = 0;        // index into the campaign's rate axis
+    int trials = 0;      // stored contiguous prefix length
+    int successes = 0;
+    double half_width = 0.0;  // achieved Wilson 95% on the full tally
+  };
+  struct ManifestEntry {
+    std::string fingerprint;  // 16-hex campaign directory name
+    std::string app;          // from spec.txt; empty when unreadable
+    std::vector<ManifestCell> cells;  // sorted by (series, rate); nonempty
+  };
+
+  // Summarizes every campaign directory under the root: which fingerprints
+  // are stored, and per cell how many trials the store holds and the
+  // precision they achieve.  Sorted by fingerprint; unreadable journals and
+  // non-campaign directories are skipped, never an error (the manifest is a
+  // status report, not a validator).
+  std::vector<ManifestEntry> Manifest() const;
+
  private:
   std::string root_;
 };

@@ -62,17 +62,23 @@ void WriteMetricsJson(const std::string& path, const MetricsContext& context) {
     const Histogram hist = static_cast<Histogram>(h);
     const std::uint64_t total = snapshot.histogram_total(hist);
     if (total == 0) continue;
+    // Sparse map keyed by bucket lower bound (log2 buckets: 0, 1, 2, 4,
+    // ...), empty buckets omitted, plus interpolated quantiles.
     out << (first ? "\n" : ",\n") << "    \"" << HistogramName(hist)
-        << "\": {\"total\": " << total << ", \"buckets\": [";
+        << "\": {\"total\": " << total
+        << ", \"p50\": " << HistogramQuantile(snapshot.histograms[h], 0.50)
+        << ", \"p90\": " << HistogramQuantile(snapshot.histograms[h], 0.90)
+        << ", \"p99\": " << HistogramQuantile(snapshot.histograms[h], 0.99)
+        << ", \"buckets\": {";
     bool first_bucket = true;
     for (int b = 0; b < kHistogramBuckets; ++b) {
       const std::uint64_t count = snapshot.histograms[h][b];
       if (count == 0) continue;
-      out << (first_bucket ? "" : ", ") << "[" << HistogramBucketLowerBound(b)
-          << ", " << count << "]";
+      out << (first_bucket ? "" : ", ") << "\"" << HistogramBucketLowerBound(b)
+          << "\": " << count;
       first_bucket = false;
     }
-    out << "]}";
+    out << "}}";
     first = false;
   }
   out << (first ? "" : "\n  ") << "}\n}\n";

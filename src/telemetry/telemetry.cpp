@@ -44,6 +44,9 @@ constexpr const char* kHistogramNames[kNumHistograms] = {
     "injector.clean_run",
     "campaign.trials_to_stop",
     "campaign.stop_half_width_ppm",
+    "query.latency_us.cache",
+    "query.latency_us.fresh_trials",
+    "query.latency_us.surrogate",
 };
 
 }  // namespace
@@ -56,6 +59,35 @@ const char* CounterName(Counter c) {
 const char* HistogramName(Histogram h) {
   const int i = static_cast<int>(h);
   return i >= 0 && i < kNumHistograms ? kHistogramNames[i] : "?";
+}
+
+double HistogramQuantile(const std::uint64_t* buckets, double q) {
+  std::uint64_t total = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) total += buckets[b];
+  if (total == 0) return 0.0;
+  if (!(q > 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets[b]);
+    if (next >= target) {
+      if (b == 0) return 0.0;
+      // Bucket b >= 1 spans [2^(b-1), 2^b): width == lower bound.
+      const double lower = static_cast<double>(HistogramBucketLowerBound(b));
+      const double frac = (target - cumulative) / static_cast<double>(buckets[b]);
+      return lower + lower * frac;
+    }
+    cumulative = next;
+  }
+  for (int b = kHistogramBuckets - 1; b >= 0; --b) {
+    if (buckets[b] != 0) {
+      return b == 0 ? 0.0
+                    : 2.0 * static_cast<double>(HistogramBucketLowerBound(b));
+    }
+  }
+  return 0.0;
 }
 
 #if ROBUSTIFY_TELEMETRY_ENABLED

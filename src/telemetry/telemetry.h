@@ -79,6 +79,13 @@ enum class Histogram : int {
   kInjectorCleanRun,         // sampled clean-run (gap) lengths, in ops
   kCampaignTrialsToStop,     // accepted trials per campaign cell
   kCampaignStopHalfWidthPpm, // Wilson half-width at stop, parts-per-million
+  // Per-query wall latency, microseconds, tagged by answer source.  These
+  // hold *timing* values, so unlike every other histogram they are not a
+  // pure function of the work — exports carry them, exact-diff gates and
+  // the thread-invariance test do not run queries.
+  kQueryLatencyCacheUs,      // answered from a cached cell tally
+  kQueryLatencyFreshUs,      // answered by running fresh trials
+  kQueryLatencySurrogateUs,  // answered from the logistic cliff surrogate
   kCount
 };
 
@@ -94,6 +101,12 @@ const char* HistogramName(Histogram h);
 inline std::uint64_t HistogramBucketLowerBound(int bucket) {
   return bucket == 0 ? 0 : 1ull << (bucket - 1);
 }
+
+// Interpolated quantile over one histogram's kHistogramBuckets counts:
+// ranks interpolate linearly inside a bucket's [2^(b-1), 2^b) value range
+// (bucket 0 is exactly 0).  q clamps to [0, 1]; an empty histogram reads
+// 0.  Feeds the --metrics p50/p90/p99 fields and the serve-loop stats.
+double HistogramQuantile(const std::uint64_t* buckets, double q);
 
 #if ROBUSTIFY_TELEMETRY_ENABLED
 

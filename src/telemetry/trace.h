@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <string>
 
+#include "telemetry/attribution.h"
 #include "telemetry/telemetry.h"
 
 namespace robustify::telemetry {
@@ -71,23 +72,32 @@ inline void Instant(const char* name) {
 }
 
 // RAII span: emits a B event now and the matching E on destruction.  The
-// name must be a string literal (the ring stores the pointer).
+// name must be a string literal (the ring stores the pointer).  The same
+// scope feeds the attribution ledger (attribution.h) when --attr enabled
+// it — with or without the trace ring; both off costs two relaxed loads.
 class SpanScope {
  public:
   explicit SpanScope(const char* name) {
-    if (TracingActive()) {
-      name_ = name;
-      detail::EmitEvent(name, 'B');
-    }
+    const bool traced = TracingActive();
+    const bool attributed = AttributionActive();
+    if (!(traced || attributed)) return;
+    name_ = name;
+    traced_ = traced;
+    attributed_ = attributed;
+    if (traced) detail::EmitEvent(name, 'B');
+    if (attributed) detail::AttrEnter(name);
   }
   ~SpanScope() {
-    if (name_ != nullptr) detail::EmitEvent(name_, 'E');
+    if (traced_) detail::EmitEvent(name_, 'E');
+    if (attributed_) detail::AttrExit();
   }
   SpanScope(const SpanScope&) = delete;
   SpanScope& operator=(const SpanScope&) = delete;
 
  private:
   const char* name_ = nullptr;
+  bool traced_ = false;
+  bool attributed_ = false;
 };
 
 #else  // compiled out

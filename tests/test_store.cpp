@@ -35,6 +35,7 @@
 #include "service/query_service.h"
 #include "service/surrogate.h"
 #include "store/result_store.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -553,6 +554,99 @@ TEST(QueryService, ServeLoopAnswersOnePerLine) {
   EXPECT_NE(lines[0].find("\"source\":\"cache\""), std::string::npos);
   EXPECT_NE(lines[1].find("\"ok\":false"), std::string::npos);
   EXPECT_NE(lines[2].find("\"source\":\"surrogate\""), std::string::npos);
+}
+
+// ---- stats + manifest -------------------------------------------------------
+
+TEST(ResultStore, ManifestListsCampaignsAndAchievedCells) {
+  ServiceFixture empty("manifest_empty", /*prefill=*/false);
+  EXPECT_TRUE(empty.rs->Manifest().empty());
+
+  ServiceFixture f("manifest");
+  const auto manifest = f.rs->Manifest();
+  ASSERT_EQ(manifest.size(), 1u);
+  const store::ResultStore::ManifestEntry& entry = manifest[0];
+  EXPECT_EQ(entry.fingerprint.size(), 16u);
+  EXPECT_EQ(entry.fingerprint.find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+  EXPECT_EQ(entry.app, "store_synth");
+  // 2 series x 5 rates, all owned by the single prefill shard.
+  ASSERT_EQ(entry.cells.size(), 10u);
+  for (const store::ResultStore::ManifestCell& cell : entry.cells) {
+    EXPECT_GE(cell.series, 0);
+    EXPECT_LT(cell.series, 2);
+    EXPECT_GE(cell.rate, 0);
+    EXPECT_LT(cell.rate, 5);
+    EXPECT_GE(cell.trials, f.spec.min_trials);
+    EXPECT_LE(cell.trials, f.spec.max_trials);
+    EXPECT_GE(cell.successes, 0);
+    EXPECT_LE(cell.successes, cell.trials);
+    // The achieved half-width is the Wilson interval of the tally.
+    EXPECT_DOUBLE_EQ(cell.half_width,
+                     campaign::WilsonHalfWidth(cell.successes, cell.trials));
+  }
+}
+
+TEST(QueryService, ParseQueryJsonStatsCmd) {
+  service::Query q;
+  std::string error;
+  // A stats command needs no app/series/rate.
+  ASSERT_TRUE(
+      service::QueryService::ParseQueryJson(R"({"cmd":"stats"})", &q, &error))
+      << error;
+  EXPECT_EQ(q.cmd, "stats");
+
+  EXPECT_FALSE(
+      service::QueryService::ParseQueryJson(R"({"cmd":"bogus"})", &q, &error));
+  EXPECT_NE(error.find("unknown cmd"), std::string::npos);
+}
+
+TEST(QueryService, StatsJsonReportsLatencyAndManifest) {
+  ServiceFixture f("stats");
+  telemetry::SetCountersEnabled(true);
+  telemetry::ResetCounters();
+  ASSERT_TRUE(f.qs->Handle(f.Q("A", 0.1, 0.3)).ok);  // one cache answer
+
+  const std::string json = f.qs->StatsJson();
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"cmd\":\"stats\""), std::string::npos);
+  // All three per-source latency summaries are always present.
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"fresh_trials\":{\"count\":"), std::string::npos);
+  EXPECT_NE(json.find("\"surrogate\":{\"count\":0"), std::string::npos);
+#if ROBUSTIFY_TELEMETRY_ENABLED
+  EXPECT_NE(json.find("\"cache\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"store.hits\":1"), std::string::npos);
+#else
+  EXPECT_NE(json.find("\"counters\":{}"), std::string::npos);
+#endif
+  // The store manifest rides along: the campaign and its cell tallies.
+  EXPECT_NE(json.find("\"campaigns\":[{\"fingerprint\":\""),
+            std::string::npos);
+  const auto manifest = f.rs->Manifest();
+  ASSERT_EQ(manifest.size(), 1u);
+  EXPECT_NE(json.find(manifest[0].fingerprint), std::string::npos);
+  EXPECT_NE(json.find("\"app\":\"store_synth\""), std::string::npos);
+  EXPECT_NE(json.find("\"half_width\":"), std::string::npos);
+}
+
+TEST(QueryService, ServeLoopAnswersStatsCmd) {
+  ServiceFixture f("serve_stats");
+  std::istringstream in(
+      "{\"app\":\"store_synth\",\"series\":\"A\",\"rate\":0.1,\"ci\":0.3}\n"
+      "{\"cmd\":\"stats\"}\n"
+      "{\"cmd\":\"bogus\"}\n");
+  std::ostringstream out;
+  f.qs->Serve(in, out);
+  std::vector<std::string> lines;
+  std::istringstream split(out.str());
+  for (std::string line; std::getline(split, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"source\":\"cache\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"cmd\":\"stats\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"campaigns\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(lines[2].find("unknown cmd"), std::string::npos);
 }
 
 // Reduction of stored records replays the spec's own stopping rule, so the

@@ -19,14 +19,28 @@ flops, trials, ...).  Counter values are exact uint64 work accounting, so
 same-filename pairs print any mismatched counter, and --exact-counters turns
 a mismatch into exit 1.  Counters depend on libm (the gap sampler's log), so
 exact comparison is only sound between runs on the same machine and build —
-CI compares two fresh same-host runs, not a committed baseline.
+CI compares two fresh same-host runs, not a committed baseline.  Between
+*different* builds, --counter-tolerance PATTERN:FRAC (repeatable, fnmatch
+patterns) lets named libm-dependent counters drift by a relative fraction
+while every unmatched (structural) counter — faults, trials, cells — stays
+exact.
+
+Sections may carry a "roofline_efficiency" field (bench_roofline): the
+kernel's measured throughput as a fraction of its machine-profile ceiling.
+Unlike wall seconds or Mops/s, efficiency is host-comparable, so
+--efficiency-threshold DROP gates clean-path kernel regressions in
+percent-of-peak: a same-filename section whose efficiency falls more than
+DROP (absolute, e.g. 0.15) below the baseline is flagged (exit 1 with
+--strict, warn-only otherwise).
 
 Usage:
   perf_diff.py --baseline perf/ --fresh build/ [--threshold 0.25] [--strict]
-              [--exact-counters]
+              [--exact-counters] [--counter-tolerance 'gap.draws.*:0.02']
+              [--efficiency-threshold 0.15]
 """
 
 import argparse
+import fnmatch
 import glob
 import json
 import os
@@ -63,7 +77,33 @@ def main():
     parser.add_argument("--exact-counters", action="store_true",
                         help="exit 1 when a same-filename pair's telemetry "
                              "counters differ (same-machine runs only)")
+    parser.add_argument("--counter-tolerance", action="append", default=[],
+                        metavar="PATTERN:FRAC",
+                        help="allow counters matching the fnmatch PATTERN to "
+                             "drift by a relative FRAC under --exact-counters "
+                             "(libm-dependent counters; structural counters "
+                             "stay exact); repeatable")
+    parser.add_argument("--efficiency-threshold", type=float, default=None,
+                        metavar="DROP",
+                        help="flag a same-filename section whose "
+                             "roofline_efficiency falls more than DROP "
+                             "(absolute) below the baseline")
     args = parser.parse_args()
+
+    tolerances = []
+    for spec in args.counter_tolerance:
+        pattern, sep, frac = spec.rpartition(":")
+        try:
+            frac = float(frac)
+        except ValueError:
+            sep = ""
+        if not sep or not pattern or frac < 0.0:
+            parser.error(f"--counter-tolerance needs PATTERN:FRAC, got {spec!r}")
+        tolerances.append((pattern, frac))
+
+    def tolerance_for(counter):
+        return max((frac for pattern, frac in tolerances
+                    if fnmatch.fnmatch(counter, pattern)), default=None)
 
     baselines = load_reports(args.baseline)
     fresh = load_reports(args.fresh)
@@ -72,7 +112,9 @@ def main():
         return 0
 
     regressions = []
+    efficiency_regressions = []
     counter_mismatches = []
+    tolerated_drifts = []
     for fresh_name, fresh_report in fresh.items():
         bench = fresh_report.get("bench", "?")
         matches = {name: rep for name, rep in baselines.items()
@@ -98,15 +140,40 @@ def main():
                     regressions.append(
                         f"{fresh_name} [{section.get('name')}]: "
                         f"{wall:.3f}s vs {base_wall:.3f}s baseline")
+                eff = section.get("roofline_efficiency")
+                base_eff = base.get("roofline_efficiency")
+                if eff is not None and base_eff is not None:
+                    print(f"{comparable} {fresh_name} [{section.get('name')}] vs {base_name}: "
+                          f"roofline efficiency {eff:.3f} vs {base_eff:.3f} "
+                          f"({(eff - base_eff) * 100.0:+.1f} points of peak)")
+                    if (same_file and args.efficiency_threshold is not None
+                            and eff < base_eff - args.efficiency_threshold):
+                        efficiency_regressions.append(
+                            f"{fresh_name} [{section.get('name')}]: "
+                            f"{eff:.3f} vs {base_eff:.3f} baseline "
+                            f"(dropped {base_eff - eff:.3f} of peak)")
             if same_file:
                 fresh_counters = fresh_report.get("counters") or {}
                 base_counters = base_report.get("counters") or {}
                 if fresh_counters or base_counters:
                     for key in sorted(set(fresh_counters) | set(base_counters)):
                         a, b = fresh_counters.get(key), base_counters.get(key)
-                        if a != b:
-                            counter_mismatches.append(
-                                f"{fresh_name} [{key}]: {a} vs {b} baseline")
+                        if a == b:
+                            continue
+                        frac = tolerance_for(key)
+                        if (frac is not None and a is not None and b is not None
+                                and abs(a - b) <= frac * max(abs(a), abs(b))):
+                            tolerated_drifts.append(
+                                f"{fresh_name} [{key}]: {a} vs {b} baseline "
+                                f"(within {frac:.3g} tolerance)")
+                            continue
+                        counter_mismatches.append(
+                            f"{fresh_name} [{key}]: {a} vs {b} baseline")
+
+    if tolerated_drifts:
+        print("\nperf_diff: counter drifts within --counter-tolerance:")
+        for m in tolerated_drifts:
+            print(f"  {m}")
 
     if counter_mismatches:
         print("\nperf_diff: counter mismatches (exact work accounting differs):")
@@ -116,6 +183,17 @@ def main():
             return 1
         print("perf_diff: counters differ across machines/libm builds; pass "
               "--exact-counters only for same-host pairs.")
+
+    if efficiency_regressions:
+        print("\nperf_diff: roofline efficiency regressions "
+              f"(> {args.efficiency_threshold:.2f} of peak vs same-filename "
+              "baseline):")
+        for r in efficiency_regressions:
+            print(f"  {r}")
+        if args.strict:
+            return 1
+        print("perf_diff: warn-only mode (pass --strict to fail); efficiency "
+              "is host-comparable, so repeated drops are real regressions.")
 
     if regressions:
         print("\nperf_diff: notable wall-time regressions "

@@ -10,7 +10,12 @@ Checks, per the trace-event format that chrome://tracing and Perfetto load:
   * "ph" is one of B, E, i, X, M ("X" additionally needs a numeric "dur");
   * timestamps are monotonically non-decreasing per (pid, tid) track;
   * B/E pairs are balanced per track (every E closes the most recent B,
-    nothing left open at the end).
+    nothing left open at the end);
+  * span names come from the known category catalog (the same names the
+    attribution ledger folds); an unknown name is a warning, not an error,
+    so a new producer degrades the report instead of breaking CI;
+  * a nonzero trace.dropped metadata entry (ring overwrote events) is
+    surfaced as a WARNING on stderr — the trace is valid but incomplete.
 
 Exit status 0 when the trace is well-formed, 1 otherwise (with the first
 few problems on stderr).
@@ -22,6 +27,13 @@ import json
 import sys
 
 VALID_PHASES = {"B", "E", "i", "X", "M"}
+# Every span/instant/metadata name the runtime emits (trace.cpp producers +
+# the attribution categories in telemetry/attribution.cpp).
+KNOWN_NAMES = {
+    "campaign", "cell", "trial", "solve.sgd", "solve.cgls", "solve.cgne",
+    "phase", "checkpoint.flush", "sweep", "query", "stats", "reduce",
+    "pool.wait", "calibrate", "fault", "trace.dropped", "process_name",
+}
 MAX_REPORTED = 10
 
 
@@ -37,8 +49,11 @@ def load_events(path):
 
 def validate(events):
     problems = []
+    warnings = []
     last_ts = {}    # (pid, tid) -> last timestamp seen
     open_spans = {} # (pid, tid) -> stack of open B names
+    unknown_names = set()
+    dropped = {}    # tid -> events the ring overwrote
 
     def report(index, message):
         if len(problems) < MAX_REPORTED:
@@ -56,6 +71,8 @@ def validate(events):
             continue
         if not isinstance(ev.get("name"), str) or not ev["name"]:
             bad = report(i, "missing or empty name")
+        elif ev["name"] not in KNOWN_NAMES:
+            unknown_names.add(ev["name"])
         if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
             bad = report(i, "pid/tid must be integers")
             continue
@@ -63,6 +80,10 @@ def validate(events):
 
         ts = ev.get("ts")
         if phase == "M":
+            if ev.get("name") == "trace.dropped":
+                count = (ev.get("args") or {}).get("events", 0)
+                if isinstance(count, int) and count > 0:
+                    dropped[ev["tid"]] = dropped.get(ev["tid"], 0) + count
             continue  # metadata events carry no timeline position
         if not isinstance(ts, (int, float)):
             bad = report(i, "missing or non-numeric ts")
@@ -90,7 +111,13 @@ def validate(events):
             if len(problems) < MAX_REPORTED:
                 problems.append("track %r: %d span(s) left open: %s"
                                 % (track, len(stack), ", ".join(stack)))
-    return bad, problems
+    if unknown_names:
+        warnings.append("unknown span name(s) outside the category catalog: %s"
+                        % ", ".join(sorted(unknown_names)))
+    for tid, count in sorted(dropped.items()):
+        warnings.append("trace.dropped: tid %d lost %d event(s) to ring "
+                        "overwrite — trace is valid but incomplete" % (tid, count))
+    return bad, problems, warnings
 
 
 def main(argv):
@@ -102,7 +129,9 @@ def main(argv):
     except (OSError, ValueError) as e:
         print("trace_validate: %s: %s" % (argv[1], e), file=sys.stderr)
         return 1
-    bad, problems = validate(events)
+    bad, problems, warnings = validate(events)
+    for w in warnings:
+        print("trace_validate: WARNING: %s" % w, file=sys.stderr)
     if bad:
         for p in problems:
             print("trace_validate: %s" % p, file=sys.stderr)
